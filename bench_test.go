@@ -1,0 +1,326 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5–§6) at benchmark-friendly scale, plus the ablation benches called out
+// in DESIGN.md. Full-scale regeneration lives in cmd/experiments (-full).
+package vmalloc
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vmalloc/internal/exp"
+	"vmalloc/internal/hvp"
+	"vmalloc/internal/milp"
+	"vmalloc/internal/platform"
+	"vmalloc/internal/relax"
+	"vmalloc/internal/sched"
+	"vmalloc/internal/trace"
+	"vmalloc/internal/vec"
+	"vmalloc/internal/vp"
+	"vmalloc/internal/workload"
+)
+
+// benchGrid is the reduced instance family shared by the table benches.
+func benchGrid(services int) []workload.Scenario {
+	return exp.GridSpec{
+		Hosts:    8,
+		Services: []int{services},
+		COVs:     []float64{0, 0.5, 1.0},
+		Slacks:   []float64{0.5},
+		Seeds:    []int64{1, 2},
+	}.Scenarios()
+}
+
+// BenchmarkTable1PairwiseComparison regenerates the Table 1 pairwise
+// (Y_{A,B}, S_{A,B}) matrix over METAGREEDY/METAVP/METAHVP/METAHVPLIGHT.
+func BenchmarkTable1PairwiseComparison(b *testing.B) {
+	scns := benchGrid(32)
+	names := []string{exp.NameMetaGreedy, exp.NameMetaVP, exp.NameMetaHVP, exp.NameMetaHVPLight}
+	for i := 0; i < b.N; i++ {
+		rs := (&exp.Runner{}).Run(scns, exp.HeuristicRoster(1e-3))
+		_ = rs.Table1(names)
+	}
+}
+
+// BenchmarkTable1LPRounding regenerates the RRND/RRNZ rows of Table 1 at the
+// reduced LP tier (the dense simplex replaces GLPK).
+func BenchmarkTable1LPRounding(b *testing.B) {
+	scns := exp.GridSpec{
+		Hosts: 4, Services: []int{10}, COVs: []float64{0.5},
+		Slacks: []float64{0.5}, Seeds: []int64{1, 2},
+	}.Scenarios()
+	for i := 0; i < b.N; i++ {
+		rs := (&exp.Runner{}).Run(scns, []exp.Algo{exp.RRNDAlgo(1), exp.RRNZAlgo(1)})
+		_ = rs.Table1([]string{exp.NameRRND, exp.NameRRNZ})
+	}
+}
+
+// BenchmarkTable2Runtimes times each Table 2 algorithm on one representative
+// instance per service count, the quantity the paper reports in seconds.
+func BenchmarkTable2Runtimes(b *testing.B) {
+	for _, services := range []int{25, 50, 100} {
+		p := workload.Generate(workload.Scenario{
+			Hosts: 8, Services: services, COV: 0.5, Slack: 0.5, Seed: 1,
+		})
+		for _, algo := range exp.HeuristicRoster(1e-3) {
+			b.Run(fmt.Sprintf("%s/%dtasks", algo.Name, services), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_ = algo.Run(p)
+				}
+			})
+		}
+	}
+}
+
+// figBench runs the Figures 2–4 series (yield difference from METAHVP vs
+// COV) for the given heterogeneity mode.
+func figBench(b *testing.B, mode workload.HeterogeneityMode) {
+	scns := exp.GridSpec{
+		Hosts: 8, Services: []int{40},
+		COVs: []float64{0, 0.3, 0.6, 0.9}, Slacks: []float64{0.3},
+		Seeds: []int64{1, 2}, Mode: mode,
+	}.Scenarios()
+	names := []string{exp.NameMetaGreedy, exp.NameMetaVP}
+	for i := 0; i < b.N; i++ {
+		rs := (&exp.Runner{}).Run(scns, exp.HeuristicRoster(1e-3))
+		_ = rs.FigureYieldVsCOV(names, exp.NameMetaHVP)
+	}
+}
+
+// BenchmarkFig2YieldVsCOV regenerates the Figure 2 series (fully
+// heterogeneous platforms; the appendix figures 8–34 vary slack/services).
+func BenchmarkFig2YieldVsCOV(b *testing.B) { figBench(b, workload.HeteroBoth) }
+
+// BenchmarkFig3CPUHomogeneous regenerates Figure 3 (CPU held homogeneous).
+func BenchmarkFig3CPUHomogeneous(b *testing.B) { figBench(b, workload.HeteroCPUHomogeneous) }
+
+// BenchmarkFig4MemHomogeneous regenerates Figure 4 (memory held homogeneous).
+func BenchmarkFig4MemHomogeneous(b *testing.B) { figBench(b, workload.HeteroMemHomogeneous) }
+
+// errBench runs the Figures 5–7 error-mitigation series at the given service
+// count (the appendix figures 35–66 vary slack and COV).
+func errBench(b *testing.B, services int) {
+	e := &exp.ErrorExperiment{
+		Scenarios: []workload.Scenario{
+			{Hosts: 8, Services: services, COV: 0.5, Slack: 0.4, Seed: 1},
+			{Hosts: 8, Services: services, COV: 0.5, Slack: 0.4, Seed: 2},
+		},
+		MaxErrors:  []float64{0, 0.1, 0.3},
+		Thresholds: []float64{0, 0.1, 0.3},
+		SeedSalt:   0x5eed,
+	}
+	for i := 0; i < b.N; i++ {
+		curves := e.Run()
+		_ = exp.FigureErrorCurves(curves, e.Thresholds)
+	}
+}
+
+// BenchmarkFig5ErrorMitigation100 regenerates the Figure 5 series (smallest
+// service count: few large services).
+func BenchmarkFig5ErrorMitigation100(b *testing.B) { errBench(b, 16) }
+
+// BenchmarkFig6ErrorMitigation250 regenerates the Figure 6 series.
+func BenchmarkFig6ErrorMitigation250(b *testing.B) { errBench(b, 40) }
+
+// BenchmarkFig7ErrorMitigation500 regenerates the Figure 7 series (many
+// small services).
+func BenchmarkFig7ErrorMitigation500(b *testing.B) { errBench(b, 80) }
+
+// BenchmarkMetaHVPLightSpeedup reproduces the §5.1 run-time comparison:
+// METAHVP vs METAHVPLIGHT on the same instance (512×2000 in the paper,
+// reduced here).
+func BenchmarkMetaHVPLightSpeedup(b *testing.B) {
+	p := workload.Generate(workload.Scenario{
+		Hosts: 16, Services: 120, COV: 0.5, Slack: 0.4, Seed: 1,
+	})
+	b.Run("METAHVP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = hvp.MetaHVP(p, 1e-3)
+		}
+	})
+	b.Run("METAHVPLIGHT", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = hvp.MetaHVPLight(p, 1e-3)
+		}
+	})
+}
+
+// BenchmarkTheorem1TightInstance evaluates EQUALWEIGHTS on the tight
+// instance of Theorem 1 (n_1 = 1, n_j = 1/J).
+func BenchmarkTheorem1TightInstance(b *testing.B) {
+	const J = 64
+	needs := make([]float64, J)
+	needs[0] = 1
+	for j := 1; j < J; j++ {
+		needs[j] = 1.0 / J
+	}
+	nc := &sched.NodeCPU{
+		Capacity: 1, Req: make([]float64, J),
+		Estimated: make([]float64, J), TrueNeed: needs,
+	}
+	for i := 0; i < b.N; i++ {
+		_ = nc.MinYield(sched.EqualWeights)
+	}
+}
+
+// BenchmarkMILPvsHeuristics reproduces the §3.2 workflow on a tiny
+// instance: exact branch-and-bound optimum, its rational upper bound, and
+// the METAHVP approximation.
+func BenchmarkMILPvsHeuristics(b *testing.B) {
+	p := workload.Generate(workload.Scenario{
+		Hosts: 3, Services: 6, COV: 0.5, Slack: 0.6, Seed: 1,
+	})
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := relax.SolveExact(p, &milp.Options{MaxNodes: 5000}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("relaxation-bound", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := relax.UpperBound(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("METAHVP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = hvp.MetaHVP(p, 1e-3)
+		}
+	})
+}
+
+// BenchmarkAblationPPKeyMapping compares the paper's improved O(J²D)
+// Permutation-Pack against the naive Leinberger D!-list reference. The gap
+// appears with dimension count (D! candidate keys to probe), so the bench
+// uses a 4-resource instance (24 keys) as well as the paper's 2-D case.
+func BenchmarkAblationPPKeyMapping(b *testing.B) {
+	p2 := workload.Generate(workload.Scenario{
+		Hosts: 8, Services: 64, COV: 0.5, Slack: 0.5, Seed: 1,
+	})
+	p4 := fourDimProblem(8, 64)
+	io := vp.Order{Metric: vec.MetricSum, Descending: true}
+	for _, tc := range []struct {
+		name string
+		p    *Problem
+		y    float64
+	}{{"D=2", p2, 0.5}, {"D=4", p4, 0}} {
+		b.Run("keyed/"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = vp.Pack(tc.p, tc.y, vp.Config{Alg: vp.PermutationPack, ItemOrder: io, BinOrder: vp.NoOrder})
+			}
+		})
+		b.Run("naive/"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = vp.PackPermutationNaive(tc.p, tc.y, io, vp.NoOrder)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWindowSize varies the Permutation-Pack window on a
+// 4-dimensional instance, where windows smaller than D actually prune the
+// key comparison.
+func BenchmarkAblationWindowSize(b *testing.B) {
+	p := fourDimProblem(8, 64)
+	io := vp.Order{Metric: vec.MetricSum, Descending: true}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = vp.Pack(p, 0, vp.Config{Alg: vp.PermutationPack, ItemOrder: io, Window: w})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationYieldTolerance varies the binary-search tolerance around
+// the paper's 1e-4 default.
+func BenchmarkAblationYieldTolerance(b *testing.B) {
+	p := workload.Generate(workload.Scenario{
+		Hosts: 8, Services: 48, COV: 0.5, Slack: 0.5, Seed: 1,
+	})
+	for _, tol := range []float64{1e-2, 1e-3, 1e-4} {
+		b.Run(fmt.Sprintf("tol=%g", tol), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = hvp.MetaHVPLight(p, tol)
+			}
+		})
+	}
+}
+
+// BenchmarkPlatformSimulation runs the §8 dynamic hosting simulation (the
+// platform package) for a short horizon with METAHVPLIGHT reallocation and
+// the adaptive threshold controller.
+func BenchmarkPlatformSimulation(b *testing.B) {
+	nodes := workload.Platform(workload.Scenario{Hosts: 8, COV: 0.5, Seed: 1},
+		randNew(1))
+	cfg := platform.Config{
+		Nodes:        nodes,
+		ArrivalRate:  2,
+		MeanLifetime: 5,
+		Horizon:      30,
+		Epoch:        3,
+		MaxErr:       0.2,
+		Threshold:    platform.AdaptiveThreshold,
+		Seed:         1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := platform.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceIngestion measures the Google-style trace pipeline: parse a
+// synthesized trace, extract marginals, generate an instance from them.
+func BenchmarkTraceIngestion(b *testing.B) {
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, trace.Synthesize(1000, 1)); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, err := trace.Read(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		emp, err := trace.Extract(recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := workload.GenerateSampled(workload.Scenario{
+			Hosts: 8, Services: 40, COV: 0.5, Slack: 0.4, Seed: 1,
+		}, emp)
+		if p.NumServices() != 40 {
+			b.Fatal("generation failed")
+		}
+	}
+}
+
+func randNew(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// fourDimProblem builds a deterministic 4-resource instance (CPU, memory,
+// disk, network) for the window ablation.
+func fourDimProblem(h, j int) *Problem {
+	p := &Problem{}
+	for i := 0; i < h; i++ {
+		agg := Of(1, 1, 1, 1)
+		p.Nodes = append(p.Nodes, Node{Elementary: agg.Clone(), Aggregate: agg})
+	}
+	for s := 0; s < j; s++ {
+		req := Of(
+			0.05+0.02*float64(s%4),
+			0.05+0.02*float64((s+1)%4),
+			0.05+0.02*float64((s+2)%4),
+			0.05+0.02*float64((s+3)%4),
+		)
+		p.Services = append(p.Services, Service{
+			ReqElem: req.Clone(), ReqAgg: req,
+			NeedElem: Of(0, 0, 0, 0), NeedAgg: Of(0, 0, 0, 0),
+		})
+	}
+	return p
+}

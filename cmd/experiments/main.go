@@ -1,0 +1,426 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (§5–§6). Each -exp target prints the corresponding table or
+// figure series as text.
+//
+// By default the sweeps are reduced (fewer COV points, seeds and services
+// per node) so a full run completes on a laptop; -full selects the paper's
+// original scale (64 hosts, 100/250/500 services, 41 COV points, 9 slacks,
+// 100 seeds) and can run for days — see EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments -exp table1
+//	experiments -exp fig2 [-slack 0.3] [-services 125]
+//	experiments -exp fig5 [-cov 0.5] [-slack 0.4]
+//	experiments -exp light
+//	experiments -exp binorder
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vmalloc/internal/core"
+	"vmalloc/internal/exp"
+	"vmalloc/internal/hvp"
+	"vmalloc/internal/plot"
+	"vmalloc/internal/sched"
+	"vmalloc/internal/vec"
+	"vmalloc/internal/vp"
+	"vmalloc/internal/workload"
+)
+
+func main() {
+	var (
+		which    = flag.String("exp", "", "experiment: table1|table2|fig2..fig7|light|binorder|hardness|theorem1|profile")
+		full     = flag.Bool("full", false, "use the paper's original sweep sizes (very slow)")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		slack    = flag.Float64("slack", -1, "override memory slack")
+		cov      = flag.Float64("cov", -1, "override coefficient of variation (error experiments)")
+		services = flag.Int("services", 0, "override service count (figure experiments)")
+		seeds    = flag.Int("seeds", 0, "override number of seeds per point")
+		doPlot   = flag.Bool("plot", false, "render figure experiments as ASCII charts")
+		csvOut   = flag.String("csv", "", "also write raw results as CSV to this file prefix")
+	)
+	flag.Parse()
+	plotFlag = *doPlot
+	csvPrefix = *csvOut
+
+	cfg := newConfig(*full)
+	if *seeds > 0 {
+		cfg.seeds = seedRange(*seeds)
+	}
+	if *workers > 0 {
+		cfg.workers = *workers
+	}
+
+	switch *which {
+	case "table1":
+		table1(cfg)
+	case "table2":
+		table2(cfg)
+	case "fig2", "fig3", "fig4":
+		figYieldVsCOV(cfg, *which, *slack, *services)
+	case "fig5", "fig6", "fig7":
+		figErrors(cfg, *which, *slack, *cov, *services)
+	case "light":
+		lightComparison(cfg)
+	case "binorder":
+		binOrderAblation(cfg)
+	case "hardness":
+		hardnessCurve(cfg)
+	case "theorem1":
+		theorem1Table()
+	case "profile":
+		profileStrategies(cfg)
+	default:
+		fmt.Fprintln(os.Stderr, "experiments: unknown or missing -exp (see -h)")
+		os.Exit(2)
+	}
+}
+
+// config holds sweep sizes for quick vs full mode.
+type config struct {
+	full      bool
+	hosts     int
+	services  []int
+	covs      []float64
+	slacks    []float64
+	seeds     []int64
+	errSteps  []float64
+	workers   int
+	lpHosts   int
+	lpSvcs    []int
+	tolerance float64
+}
+
+func newConfig(full bool) config {
+	if full {
+		return config{
+			full:     true,
+			hosts:    64,
+			services: []int{100, 250, 500},
+			covs:     covRange(0, 1.0, 0.025),
+			slacks:   covRange(0.1, 0.9, 0.1),
+			seeds:    seedRange(100),
+			errSteps: covRange(0, 0.3, 0.02),
+			lpHosts:  8,
+			lpSvcs:   []int{16, 24},
+		}
+	}
+	return config{
+		hosts:    16,
+		services: []int{25, 60, 125},
+		covs:     []float64{0, 0.25, 0.5, 0.75, 1.0},
+		slacks:   []float64{0.3, 0.5, 0.7},
+		seeds:    seedRange(3),
+		errSteps: []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3},
+		lpHosts:  8,
+		lpSvcs:   []int{16},
+	}
+}
+
+func covRange(lo, hi, step float64) []float64 {
+	var out []float64
+	for x := lo; x <= hi+1e-9; x += step {
+		out = append(out, x)
+	}
+	return out
+}
+
+func seedRange(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}
+
+func table1(cfg config) {
+	fmt.Println("=== Table 1: pairwise (Y_{A,B}, S_{A,B}) — heuristic tier ===")
+	grid := exp.GridSpec{
+		Hosts: cfg.hosts, Services: cfg.services,
+		COVs: cfg.covs, Slacks: cfg.slacks, Seeds: cfg.seeds,
+	}
+	runner := &exp.Runner{Workers: cfg.workers}
+	heur := runner.Run(grid.Scenarios(), exp.HeuristicRoster(cfg.tolerance))
+	dumpCSV("table1", heur)
+	names := []string{exp.NameMetaGreedy, exp.NameMetaVP, exp.NameMetaHVP, exp.NameMetaHVPLight}
+	for _, j := range cfg.services {
+		sub := heur.Filter(func(s workload.Scenario) bool { return s.Services == j })
+		fmt.Printf("\n-- %d services (%d hosts, %d instances) --\n", j, cfg.hosts, len(sub.Scenarios))
+		fmt.Print(sub.Table1(names))
+		fmt.Print(sub.SuccessSummary(names))
+	}
+
+	fmt.Println("\n=== Table 1: LP tier (RRND/RRNZ at reduced size; see EXPERIMENTS.md) ===")
+	lpGrid := exp.GridSpec{
+		Hosts: cfg.lpHosts, Services: cfg.lpSvcs,
+		COVs: []float64{0, 0.5, 1.0}, Slacks: []float64{0.4, 0.6}, Seeds: cfg.seeds,
+	}
+	all := runner.Run(lpGrid.Scenarios(), exp.FullRoster(cfg.tolerance, 42))
+	lpNames := []string{exp.NameRRND, exp.NameRRNZ, exp.NameMetaGreedy, exp.NameMetaVP, exp.NameMetaHVP}
+	for _, j := range cfg.lpSvcs {
+		sub := all.Filter(func(s workload.Scenario) bool { return s.Services == j })
+		fmt.Printf("\n-- %d services (%d hosts, %d instances) --\n", j, cfg.lpHosts, len(sub.Scenarios))
+		fmt.Print(sub.Table1(lpNames))
+		fmt.Print(sub.SuccessSummary(lpNames))
+	}
+}
+
+func table2(cfg config) {
+	fmt.Println("=== Table 2: mean run times (this machine; paper used a 2.27GHz Xeon) ===")
+	grid := exp.GridSpec{
+		Hosts: cfg.hosts, Services: cfg.services,
+		COVs: []float64{0, 0.5, 1.0}, Slacks: []float64{0.5}, Seeds: cfg.seeds,
+	}
+	runner := &exp.Runner{Workers: cfg.workers}
+	rs := runner.Run(grid.Scenarios(), exp.HeuristicRoster(cfg.tolerance))
+	fmt.Print(rs.Table2([]string{exp.NameMetaGreedy, exp.NameMetaVP, exp.NameMetaHVP, exp.NameMetaHVPLight}))
+
+	fmt.Println("\n-- RRNZ timing (LP tier sizes) --")
+	lpGrid := exp.GridSpec{
+		Hosts: cfg.lpHosts, Services: cfg.lpSvcs,
+		COVs: []float64{0.5}, Slacks: []float64{0.5}, Seeds: cfg.seeds,
+	}
+	lrs := runner.Run(lpGrid.Scenarios(), []exp.Algo{exp.RRNZAlgo(42)})
+	fmt.Print(lrs.Table2([]string{exp.NameRRNZ}))
+}
+
+func figYieldVsCOV(cfg config, which string, slackOv float64, svcOv int) {
+	mode := workload.HeteroBoth
+	label := "fully heterogeneous"
+	switch which {
+	case "fig3":
+		mode = workload.HeteroCPUHomogeneous
+		label = "CPU held homogeneous"
+	case "fig4":
+		mode = workload.HeteroMemHomogeneous
+		label = "memory held homogeneous"
+	}
+	slack := 0.3
+	if slackOv >= 0 {
+		slack = slackOv
+	}
+	services := cfg.services[len(cfg.services)-1]
+	if svcOv > 0 {
+		services = svcOv
+	}
+	covs := cfg.covs
+	if !cfg.full {
+		covs = covRange(0, 0.9, 0.1)
+	}
+	fmt.Printf("=== %s: min-yield difference from METAHVP vs COV (%s; %d hosts, %d services, slack %.1f) ===\n",
+		which, label, cfg.hosts, services, slack)
+	grid := exp.GridSpec{
+		Hosts: cfg.hosts, Services: []int{services},
+		COVs: covs, Slacks: []float64{slack}, Seeds: cfg.seeds, Mode: mode,
+	}
+	runner := &exp.Runner{Workers: cfg.workers}
+	rs := runner.Run(grid.Scenarios(), exp.HeuristicRoster(cfg.tolerance))
+	fmt.Print(rs.FigureYieldVsCOV([]string{exp.NameMetaGreedy, exp.NameMetaVP}, exp.NameMetaHVP))
+	dumpCSV(which, rs)
+	if plotFlag {
+		series := rs.COVPlotSeries([]string{exp.NameMetaGreedy, exp.NameMetaVP}, exp.NameMetaHVP)
+		fmt.Println()
+		fmt.Print(plot.Render(series, 70, 20, "coefficient of variation", "minimum yield difference"))
+	}
+}
+
+// plotFlag enables ASCII chart rendering for figure experiments.
+var plotFlag bool
+
+// csvPrefix, when nonempty, selects a file prefix for raw CSV dumps.
+var csvPrefix string
+
+// dumpCSV writes a result set to <prefix>-<tag>.csv when -csv is set.
+func dumpCSV(tag string, rs *exp.ResultSet) {
+	if csvPrefix == "" {
+		return
+	}
+	path := csvPrefix + "-" + tag + ".csv"
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: csv:", err)
+		return
+	}
+	defer f.Close()
+	if err := rs.WriteResultsCSV(f); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: csv:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "experiments: wrote %s\n", path)
+}
+
+// dumpErrorCSV writes error curves to <prefix>-<tag>.csv when -csv is set.
+func dumpErrorCSV(tag string, curves []exp.ErrorCurves, thresholds []float64) {
+	if csvPrefix == "" {
+		return
+	}
+	path := csvPrefix + "-" + tag + ".csv"
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: csv:", err)
+		return
+	}
+	defer f.Close()
+	if err := exp.WriteErrorCurvesCSV(f, curves, thresholds); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: csv:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "experiments: wrote %s\n", path)
+}
+
+func figErrors(cfg config, which string, slackOv, covOv float64, svcOv int) {
+	services := map[string]int{"fig5": cfg.services[0], "fig6": cfg.services[1], "fig7": cfg.services[2]}[which]
+	if svcOv > 0 {
+		services = svcOv
+	}
+	slack := 0.4
+	if slackOv >= 0 {
+		slack = slackOv
+	}
+	cov := 0.5
+	if covOv >= 0 {
+		cov = covOv
+	}
+	fmt.Printf("=== %s: achieved min yield vs max CPU-need error (%d hosts, %d services, slack %.1f, cov %.1f) ===\n",
+		which, cfg.hosts, services, slack, cov)
+	var scns []workload.Scenario
+	for _, seed := range cfg.seeds {
+		scns = append(scns, workload.Scenario{
+			Hosts: cfg.hosts, Services: services, COV: cov, Slack: slack, Seed: seed,
+		})
+	}
+	thresholds := []float64{0, 0.1, 0.3}
+	e := &exp.ErrorExperiment{
+		Scenarios:  scns,
+		MaxErrors:  cfg.errSteps,
+		Thresholds: thresholds,
+		Workers:    cfg.workers,
+		SeedSalt:   0x5eed,
+	}
+	curves := e.Run()
+	fmt.Print(exp.FigureErrorCurves(curves, thresholds))
+	dumpErrorCSV(which, curves, thresholds)
+	if plotFlag {
+		fmt.Println()
+		fmt.Print(plot.Render(exp.ErrorPlotSeries(curves, thresholds), 70, 20,
+			"maximum error", "minimum achieved yield"))
+	}
+}
+
+func lightComparison(cfg config) {
+	hosts, services := 32, 250
+	if cfg.full {
+		hosts, services = 512, 2000
+	}
+	fmt.Printf("=== METAHVP vs METAHVPLIGHT (%d hosts, %d services) ===\n", hosts, services)
+	p := workload.Generate(workload.Scenario{
+		Hosts: hosts, Services: services, COV: 0.5, Slack: 0.4, Seed: 1,
+	})
+	run := func(name string, f func(*core.Problem, float64) *core.Result) {
+		start := time.Now()
+		res := f(p, cfg.tolerance)
+		el := time.Since(start)
+		fmt.Printf("%-14s solved=%-5v min yield=%.4f time=%.2fs\n", name, res.Solved, res.MinYield, el.Seconds())
+	}
+	run(exp.NameMetaHVPLight, hvp.MetaHVPLight)
+	run(exp.NameMetaHVP, hvp.MetaHVP)
+}
+
+func binOrderAblation(cfg config) {
+	fmt.Println("=== Ablation: HVP First-Fit bin-order sensitivity ===")
+	grid := exp.GridSpec{
+		Hosts: cfg.hosts, Services: []int{cfg.services[len(cfg.services)-1]},
+		COVs: []float64{0.25, 0.5, 1.0}, Slacks: []float64{0.3}, Seeds: cfg.seeds,
+	}
+	var algos []exp.Algo
+	var names []string
+	for _, bo := range vp.AllOrders() {
+		bo := bo
+		name := "FF/bins=" + bo.String()
+		names = append(names, name)
+		algos = append(algos, exp.Algo{Name: name, Run: func(p *core.Problem) *core.Result {
+			return vp.Solve(p, vp.Config{
+				Alg:       vp.FirstFit,
+				ItemOrder: vp.Order{Metric: vec.MetricSum, Descending: true},
+				BinOrder:  bo,
+				Hetero:    true,
+			}, cfg.tolerance)
+		}})
+	}
+	runner := &exp.Runner{Workers: cfg.workers}
+	rs := runner.Run(grid.Scenarios(), algos)
+	fmt.Print(rs.SuccessSummary(names))
+}
+
+// hardnessCurve sweeps the memory slack and reports success rates per
+// algorithm — the §4 "slack quantifies hardness" observation.
+func hardnessCurve(cfg config) {
+	fmt.Println("=== Hardness: success rate vs memory slack ===")
+	grid := exp.GridSpec{
+		Hosts: cfg.hosts, Services: []int{cfg.services[len(cfg.services)-1]},
+		COVs: []float64{0.5}, Slacks: covRange(0.1, 0.9, 0.1), Seeds: cfg.seeds,
+	}
+	runner := &exp.Runner{Workers: cfg.workers}
+	rs := runner.Run(grid.Scenarios(), exp.HeuristicRoster(cfg.tolerance))
+	names := []string{exp.NameMetaGreedy, exp.NameMetaVP, exp.NameMetaHVP}
+	fmt.Printf("%-8s", "slack")
+	for _, n := range names {
+		fmt.Printf(" %14s", n)
+	}
+	fmt.Println()
+	slacks, _ := rs.SuccessBySlack(names[0])
+	series := map[string][]float64{}
+	for _, n := range names {
+		_, rates := rs.SuccessBySlack(n)
+		series[n] = rates
+	}
+	for i, s := range slacks {
+		fmt.Printf("%-8.1f", s)
+		for _, n := range names {
+			fmt.Printf(" %13.1f%%", series[n][i]*100)
+		}
+		fmt.Println()
+	}
+}
+
+// profileStrategies reproduces the §5.1 analysis that engineered
+// METAHVPLIGHT: every base HVP strategy is ranked by success rate, then mean
+// yield, and the top of the ranking is checked against the LIGHT subset.
+func profileStrategies(cfg config) {
+	fmt.Println("=== §5.1 strategy profile: base HVP strategies ranked (top 50) ===")
+	grid := exp.GridSpec{
+		Hosts: cfg.hosts, Services: []int{cfg.services[len(cfg.services)-1]},
+		COVs: []float64{0.25, 0.5, 1.0}, Slacks: []float64{0.3, 0.6}, Seeds: cfg.seeds,
+	}
+	stats := exp.ProfileStrategies(grid.Scenarios(), cfg.tolerance, cfg.workers)
+	fmt.Print(exp.RenderProfile(stats, 50))
+	fmt.Printf("\nMETAHVPLIGHT membership among the top 50: %.0f%%\n",
+		exp.LightCoverage(stats, 50)*100)
+}
+
+// theorem1Table prints the EQUALWEIGHTS competitive ratio achieved on the
+// tight instance against the (2J-1)/J² bound.
+func theorem1Table() {
+	fmt.Println("=== Theorem 1: EQUALWEIGHTS worst-case ratio on the tight instance ===")
+	fmt.Println("J     achieved   bound (2J-1)/J²")
+	for _, J := range []int{2, 3, 5, 10, 25, 100} {
+		needs := make([]float64, J)
+		needs[0] = 1
+		sum := 1.0
+		for j := 1; j < J; j++ {
+			needs[j] = 1 / float64(J)
+			sum += needs[j]
+		}
+		nc := &sched.NodeCPU{
+			Capacity: 1, Req: make([]float64, J),
+			Estimated: make([]float64, J), TrueNeed: needs,
+		}
+		got := nc.MinYield(sched.EqualWeights) / (1 / sum)
+		fmt.Printf("%-5d %.6f   %.6f\n", J, got, sched.CompetitiveLowerBound(J))
+	}
+}

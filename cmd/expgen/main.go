@@ -1,0 +1,99 @@
+// Command expgen generates synthetic problem instances following the
+// paper's §4 methodology and writes them as JSON for cmd/vmalloc.
+//
+// Usage:
+//
+//	expgen -hosts 64 -services 500 -cov 0.5 -slack 0.3 -seed 1 -o inst.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmalloc"
+	"vmalloc/internal/trace"
+	"vmalloc/internal/workload"
+)
+
+func main() {
+	var (
+		hosts     = flag.Int("hosts", 64, "number of nodes")
+		services  = flag.Int("services", 100, "number of services")
+		cov       = flag.Float64("cov", 0.5, "coefficient of variation of node capacities")
+		slack     = flag.Float64("slack", 0.4, "target memory slack in (0,1)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		mode      = flag.String("mode", "both", "heterogeneity: both|cpu-homogeneous|mem-homogeneous")
+		out       = flag.String("o", "", "output file (default stdout)")
+		fromTrace = flag.String("trace", "", "derive service marginals from a task-event trace CSV")
+		makeTrace = flag.Int("make-trace", 0, "instead of a problem, synthesize a trace with N tasks")
+	)
+	flag.Parse()
+
+	if *makeTrace > 0 {
+		recs := trace.Synthesize(*makeTrace, *seed)
+		if *out == "" {
+			if err := trace.Write(os.Stdout, recs); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := trace.WriteFile(*out, recs); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "expgen: wrote %d trace records to %s\n", len(recs), *out)
+		return
+	}
+
+	var m workload.HeterogeneityMode
+	switch *mode {
+	case "both":
+		m = workload.HeteroBoth
+	case "cpu-homogeneous":
+		m = workload.HeteroCPUHomogeneous
+	case "mem-homogeneous":
+		m = workload.HeteroMemHomogeneous
+	default:
+		fmt.Fprintf(os.Stderr, "expgen: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if *slack <= 0 || *slack >= 1 {
+		fmt.Fprintln(os.Stderr, "expgen: slack must be in (0,1)")
+		os.Exit(2)
+	}
+
+	scn := vmalloc.Scenario{
+		Hosts: *hosts, Services: *services, COV: *cov, Slack: *slack,
+		Mode: m, Seed: *seed,
+	}
+	var p *vmalloc.Problem
+	if *fromTrace != "" {
+		recs, err := trace.ReadFile(*fromTrace)
+		if err != nil {
+			fatal(err)
+		}
+		emp, err := trace.Extract(recs)
+		if err != nil {
+			fatal(err)
+		}
+		p = workload.GenerateSampled(scn, emp)
+	} else {
+		p = vmalloc.Generate(scn)
+	}
+	if *out == "" {
+		if err := p.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := p.SaveFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "expgen: wrote %d nodes, %d services to %s\n",
+		p.NumNodes(), p.NumServices(), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "expgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command vmalloc solves one resource-allocation problem instance with any
+// registered algorithm and prints the placement and achieved minimum yield.
+//
+// Usage:
+//
+//	vmalloc -in problem.json [-algo METAHVPLIGHT] [-seed 1] [-parallel]
+//	vmalloc -demo            # run the paper's Figure 1 example
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmalloc"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "problem JSON file (see cmd/expgen)")
+		algo     = flag.String("algo", vmalloc.AlgoMetaHVPLight, "algorithm name")
+		seed     = flag.Int64("seed", 1, "seed for randomized algorithms")
+		parallel = flag.Bool("parallel", false, "run meta strategies concurrently")
+		bound    = flag.Bool("bound", false, "also print the LP relaxation upper bound")
+		demo     = flag.Bool("demo", false, "solve the paper's Figure 1 example")
+	)
+	flag.Parse()
+
+	var p *vmalloc.Problem
+	switch {
+	case *demo:
+		p = figure1()
+	case *in != "":
+		var err error
+		p, err = vmalloc.LoadProblem(*in)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "vmalloc: need -in FILE or -demo; known algorithms:")
+		for _, a := range vmalloc.Algorithms() {
+			fmt.Fprintln(os.Stderr, "  ", a)
+		}
+		os.Exit(2)
+	}
+
+	res, err := vmalloc.Solve(*algo, p, &vmalloc.Options{Seed: *seed, Parallel: *parallel})
+	if err != nil {
+		fatal(err)
+	}
+	if !res.Solved {
+		fmt.Printf("%s: no feasible placement found (%d nodes, %d services)\n",
+			*algo, p.NumNodes(), p.NumServices())
+		os.Exit(1)
+	}
+	fmt.Printf("algorithm:      %s\n", *algo)
+	fmt.Printf("minimum yield:  %.4f\n", res.MinYield)
+	if *bound {
+		if ub, err := vmalloc.RelaxedUpperBound(p); err == nil && ub >= 0 {
+			fmt.Printf("LP upper bound: %.4f\n", ub)
+		}
+	}
+	fmt.Println("placement:")
+	for j, h := range res.Placement {
+		name := p.Services[j].Name
+		if name == "" {
+			name = fmt.Sprintf("service-%d", j)
+		}
+		node := p.Nodes[h].Name
+		if node == "" {
+			node = fmt.Sprintf("node-%d", h)
+		}
+		fmt.Printf("  %-16s -> %-12s yield %.4f\n", name, node, res.Yields[j])
+	}
+}
+
+func figure1() *vmalloc.Problem {
+	return &vmalloc.Problem{
+		Nodes: []vmalloc.Node{
+			{Name: "A", Elementary: vmalloc.Of(0.8, 1.0), Aggregate: vmalloc.Of(3.2, 1.0)},
+			{Name: "B", Elementary: vmalloc.Of(1.0, 0.5), Aggregate: vmalloc.Of(2.0, 0.5)},
+		},
+		Services: []vmalloc.Service{{
+			Name:    "svc",
+			ReqElem: vmalloc.Of(0.5, 0.5), ReqAgg: vmalloc.Of(1.0, 0.5),
+			NeedElem: vmalloc.Of(0.5, 0.0), NeedAgg: vmalloc.Of(1.0, 0.0),
+		}},
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vmalloc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+package vmalloc_test
+
+import (
+	"fmt"
+
+	"vmalloc"
+)
+
+// ExampleSolve places the paper's Figure 1 service with METAHVPLIGHT: the
+// two-core node B supports the full yield of 1.
+func ExampleSolve() {
+	p := &vmalloc.Problem{
+		Nodes: []vmalloc.Node{
+			{Name: "A", Elementary: vmalloc.Of(0.8, 1.0), Aggregate: vmalloc.Of(3.2, 1.0)},
+			{Name: "B", Elementary: vmalloc.Of(1.0, 0.5), Aggregate: vmalloc.Of(2.0, 0.5)},
+		},
+		Services: []vmalloc.Service{{
+			Name:    "svc",
+			ReqElem: vmalloc.Of(0.5, 0.5), ReqAgg: vmalloc.Of(1.0, 0.5),
+			NeedElem: vmalloc.Of(0.5, 0.0), NeedAgg: vmalloc.Of(1.0, 0.0),
+		}},
+	}
+	res, err := vmalloc.Solve(vmalloc.AlgoMetaHVPLight, p, nil)
+	if err != nil || !res.Solved {
+		fmt.Println("failed")
+		return
+	}
+	fmt.Printf("node %s, yield %.1f\n", p.Nodes[res.Placement[0]].Name, res.MinYield)
+	// Output: node B, yield 1.0
+}
+
+// ExampleGenerate builds a §4 synthetic instance and reports its shape.
+func ExampleGenerate() {
+	p := vmalloc.Generate(vmalloc.Scenario{
+		Hosts: 4, Services: 10, COV: 0.5, Slack: 0.5, Seed: 1,
+	})
+	fmt.Println(p.NumNodes(), "nodes,", p.NumServices(), "services")
+	// Output: 4 nodes, 10 services
+}
+
+// ExampleMigrations counts moved services between two placements.
+func ExampleMigrations() {
+	prev := vmalloc.Placement{0, 1, vmalloc.Unplaced}
+	next := vmalloc.Placement{0, 2, 1}
+	fmt.Println(vmalloc.Migrations(prev, next))
+	// Output: 1
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"vmalloc/internal/vec"
+)
+
+// ServiceAllocation materializes the concrete resource allocation of one
+// service at its assigned yield: the ordered vector pair of §2 — the maximum
+// elementary allocation and the aggregate allocation — alongside the node
+// and yield that produced it.
+type ServiceAllocation struct {
+	Service int
+	Node    int
+	Yield   float64
+	// Elementary = r^e + yield·n^e: the cap on any single virtual element.
+	Elementary vec.Vec
+	// Aggregate = r^a + yield·n^a: the total allocation across elements.
+	Aggregate vec.Vec
+}
+
+// Allocation is the full materialized allocation of a solved placement.
+type Allocation struct {
+	Services []ServiceAllocation
+	// NodeLoad[h] is the summed aggregate allocation on node h.
+	NodeLoad []vec.Vec
+}
+
+// Materialize converts a solved Result into concrete per-service allocation
+// vectors. It errors if the result is unsolved or internally inconsistent.
+func Materialize(p *Problem, res *Result) (*Allocation, error) {
+	if res == nil || !res.Solved {
+		return nil, fmt.Errorf("core: cannot materialize an unsolved result")
+	}
+	if len(res.Placement) != p.NumServices() || len(res.Yields) != p.NumServices() {
+		return nil, fmt.Errorf("core: result shape mismatch: placement %d, yields %d, services %d",
+			len(res.Placement), len(res.Yields), p.NumServices())
+	}
+	al := &Allocation{
+		Services: make([]ServiceAllocation, p.NumServices()),
+		NodeLoad: make([]vec.Vec, p.NumNodes()),
+	}
+	for h := range al.NodeLoad {
+		al.NodeLoad[h] = vec.New(p.Dim())
+	}
+	for j := range p.Services {
+		s := &p.Services[j]
+		h := res.Placement[j]
+		if h < 0 || h >= p.NumNodes() {
+			return nil, fmt.Errorf("core: service %d placed on invalid node %d", j, h)
+		}
+		y := res.Yields[j]
+		sa := ServiceAllocation{
+			Service:    j,
+			Node:       h,
+			Yield:      y,
+			Elementary: s.ElemAt(y),
+			Aggregate:  s.AggAt(y),
+		}
+		al.Services[j] = sa
+		al.NodeLoad[h].AccumAdd(sa.Aggregate)
+	}
+	return al, nil
+}
+
+// Check verifies that the materialized allocation respects every node's
+// elementary and aggregate capacities within tolerance eps.
+func (al *Allocation) Check(p *Problem, eps float64) error {
+	for _, sa := range al.Services {
+		if !sa.Elementary.LessEq(p.Nodes[sa.Node].Elementary, eps) {
+			return fmt.Errorf("core: service %d elementary allocation %v exceeds node %d capacity %v",
+				sa.Service, sa.Elementary, sa.Node, p.Nodes[sa.Node].Elementary)
+		}
+	}
+	for h, load := range al.NodeLoad {
+		if !load.LessEq(p.Nodes[h].Aggregate, eps) {
+			return fmt.Errorf("core: node %d aggregate load %v exceeds capacity %v",
+				h, load, p.Nodes[h].Aggregate)
+		}
+	}
+	return nil
+}
+
+// Utilization returns, per dimension, the fraction of total platform
+// capacity consumed by the allocation.
+func (al *Allocation) Utilization(p *Problem) vec.Vec {
+	total := p.TotalAggregate()
+	used := vec.New(p.Dim())
+	for _, load := range al.NodeLoad {
+		used.AccumAdd(load)
+	}
+	u := vec.New(p.Dim())
+	for d := range u {
+		if total[d] > 0 {
+			u[d] = used[d] / total[d]
+		}
+	}
+	return u
+}

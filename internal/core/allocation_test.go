@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMaterializeFig1(t *testing.T) {
+	p := fig1Problem()
+	res := EvaluatePlacement(p, Placement{1})
+	al, err := Materialize(p, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := al.Services[0]
+	if sa.Node != 1 || math.Abs(sa.Yield-1.0) > 1e-12 {
+		t.Fatalf("allocation = %+v", sa)
+	}
+	// At yield 1: elementary (1.0, 0.5), aggregate (2.0, 0.5).
+	if math.Abs(sa.Elementary[0]-1.0) > 1e-12 || math.Abs(sa.Aggregate[0]-2.0) > 1e-12 {
+		t.Fatalf("vectors: elem %v agg %v", sa.Elementary, sa.Aggregate)
+	}
+	if err := al.Check(p, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaterializeRejectsUnsolved(t *testing.T) {
+	p := fig1Problem()
+	if _, err := Materialize(p, &Result{}); err == nil {
+		t.Fatal("expected error for unsolved result")
+	}
+	if _, err := Materialize(p, nil); err == nil {
+		t.Fatal("expected error for nil result")
+	}
+}
+
+func TestMaterializeRejectsShapeMismatch(t *testing.T) {
+	p := fig1Problem()
+	res := &Result{Solved: true, Placement: Placement{0, 1}, Yields: []float64{1, 1}}
+	if _, err := Materialize(p, res); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestAllocationCheckCatchesOverflow(t *testing.T) {
+	p := fig1Problem()
+	res := EvaluatePlacement(p, Placement{1})
+	al, err := Materialize(p, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the load.
+	al.NodeLoad[1][0] = 99
+	if err := al.Check(p, 1e-9); err == nil {
+		t.Fatal("expected overflow error")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	p := fig1Problem()
+	res := EvaluatePlacement(p, Placement{1})
+	al, err := Materialize(p, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := al.Utilization(p)
+	// CPU: 2.0 used of 5.2 total; memory 0.5 of 1.5.
+	if math.Abs(u[0]-2.0/5.2) > 1e-9 || math.Abs(u[1]-0.5/1.5) > 1e-9 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+// Property: every materialized allocation from EvaluatePlacement passes
+// Check — the yields computed by MaxUniformYield are always realizable.
+func TestMaterializedAllocationsAlwaysFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 200; iter++ {
+		p, pl := randomFeasibleProblem(rng, 1+rng.Intn(3), 1+rng.Intn(6))
+		res := EvaluatePlacement(p, pl)
+		if !res.Solved {
+			continue
+		}
+		al, err := Materialize(p, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := al.Check(p, 1e-6); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		u := al.Utilization(p)
+		for d, x := range u {
+			if x < -1e-9 || x > 1+1e-6 {
+				t.Fatalf("iter %d: utilization[%d] = %v", iter, d, x)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsNaNAndInf(t *testing.T) {
+	p := fig1Problem()
+	p.Nodes[0].Aggregate[0] = math.NaN()
+	if err := p.Validate(); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	q := fig1Problem()
+	q.Services[0].NeedAgg[0] = math.Inf(1)
+	if err := q.Validate(); err == nil {
+		t.Fatal("Inf accepted")
+	}
+}

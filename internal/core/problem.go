@@ -1,0 +1,185 @@
+// Package core defines the service placement and resource allocation problem
+// of Casanova, Stillwell and Vivien (IPDPS 2012, INRIA RR-7772): services with
+// rigid requirements and fluid needs must each be placed on one node of a
+// heterogeneous platform so as to maximize the minimum yield.
+//
+// Each node carries an elementary and an aggregate capacity vector; each
+// service carries elementary/aggregate requirement and need vector pairs. The
+// allocation a service receives at yield y is (r^e + y*n^e, r^a + y*n^a).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vmalloc/internal/vec"
+)
+
+// DefaultEpsilon is the numerical tolerance used by feasibility checks.
+const DefaultEpsilon = 1e-9
+
+// Node is one physical host. Elementary gives the capacity of a single
+// resource element in each dimension (e.g. one core); Aggregate gives the
+// total capacity over all elements. For arbitrarily divisible resources such
+// as memory the two coincide.
+type Node struct {
+	Name       string  `json:"name,omitempty"`
+	Elementary vec.Vec `json:"elementary"`
+	Aggregate  vec.Vec `json:"aggregate"`
+}
+
+// Service is one hosted service (one VM instance). ReqElem/ReqAgg are the
+// rigid requirements (r^e, r^a): the minimum acceptable allocation. NeedElem/
+// NeedAgg are the fluid needs (n^e, n^a): the additional resources required
+// to reach maximum performance (yield 1).
+type Service struct {
+	Name     string  `json:"name,omitempty"`
+	ReqElem  vec.Vec `json:"req_elem"`
+	ReqAgg   vec.Vec `json:"req_agg"`
+	NeedElem vec.Vec `json:"need_elem"`
+	NeedAgg  vec.Vec `json:"need_agg"`
+}
+
+// Problem is a complete instance: a platform and a workload.
+type Problem struct {
+	Nodes    []Node    `json:"nodes"`
+	Services []Service `json:"services"`
+}
+
+// Dim returns the number of resource dimensions, 0 for an empty problem.
+func (p *Problem) Dim() int {
+	if len(p.Nodes) > 0 {
+		return p.Nodes[0].Aggregate.Dim()
+	}
+	if len(p.Services) > 0 {
+		return p.Services[0].ReqAgg.Dim()
+	}
+	return 0
+}
+
+// NumNodes returns H, the number of nodes.
+func (p *Problem) NumNodes() int { return len(p.Nodes) }
+
+// NumServices returns J, the number of services.
+func (p *Problem) NumServices() int { return len(p.Services) }
+
+// Validate checks structural consistency: every vector has the same number of
+// dimensions, no negative entries, and requirements/needs/capacities are
+// internally consistent (elementary <= aggregate for nodes).
+func (p *Problem) Validate() error {
+	d := p.Dim()
+	if d == 0 {
+		return errors.New("core: problem has no dimensions")
+	}
+	check := func(kind string, i int, v vec.Vec) error {
+		if v.Dim() != d {
+			return fmt.Errorf("core: %s %d has %d dimensions, want %d", kind, i, v.Dim(), d)
+		}
+		for dd, x := range v {
+			if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("core: %s %d has invalid value %g in dimension %d", kind, i, x, dd)
+			}
+		}
+		return nil
+	}
+	for h, n := range p.Nodes {
+		if err := check("node elementary capacity of node", h, n.Elementary); err != nil {
+			return err
+		}
+		if err := check("node aggregate capacity of node", h, n.Aggregate); err != nil {
+			return err
+		}
+		if !n.Elementary.LessEq(n.Aggregate, DefaultEpsilon) {
+			return fmt.Errorf("core: node %d elementary capacity %v exceeds aggregate %v", h, n.Elementary, n.Aggregate)
+		}
+	}
+	for j, s := range p.Services {
+		for _, vv := range []struct {
+			kind string
+			v    vec.Vec
+		}{
+			{"service elementary requirement", s.ReqElem},
+			{"service aggregate requirement", s.ReqAgg},
+			{"service elementary need", s.NeedElem},
+			{"service aggregate need", s.NeedAgg},
+		} {
+			if err := check(vv.kind, j, vv.v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ElemAt returns the elementary demand of service s at yield y:
+// r^e + y*n^e.
+func (s *Service) ElemAt(y float64) vec.Vec { return s.ReqElem.AddScaled(y, s.NeedElem) }
+
+// AggAt returns the aggregate demand of service s at yield y:
+// r^a + y*n^a.
+func (s *Service) AggAt(y float64) vec.Vec { return s.ReqAgg.AddScaled(y, s.NeedAgg) }
+
+// Demand returns the full demand of the service at yield 1
+// (requirements plus needs), the natural "size" for placement heuristics.
+func (s *Service) Demand() vec.Vec { return s.ReqAgg.Add(s.NeedAgg) }
+
+// FitsRequirements reports whether the service's rigid requirements alone fit
+// on node n given the node's current aggregate load (sum of aggregate
+// requirement vectors of services already placed there). This is the minimum
+// condition for a placement to be valid at yield 0.
+func (s *Service) FitsRequirements(n *Node, load vec.Vec) bool {
+	if !s.ReqElem.LessEq(n.Elementary, DefaultEpsilon) {
+		return false
+	}
+	return load.Add(s.ReqAgg).LessEq(n.Aggregate, DefaultEpsilon)
+}
+
+// TotalAggregate returns the element-wise sum of all node aggregate
+// capacities.
+func (p *Problem) TotalAggregate() vec.Vec {
+	t := vec.New(p.Dim())
+	for _, n := range p.Nodes {
+		t.AccumAdd(n.Aggregate)
+	}
+	return t
+}
+
+// TotalDemand returns the element-wise sum over services of requirements plus
+// needs (aggregate).
+func (p *Problem) TotalDemand() vec.Vec {
+	t := vec.New(p.Dim())
+	for _, s := range p.Services {
+		t.AccumAdd(s.ReqAgg)
+		t.AccumAdd(s.NeedAgg)
+	}
+	return t
+}
+
+// TotalRequirements returns the element-wise sum of aggregate requirements.
+func (p *Problem) TotalRequirements() vec.Vec {
+	t := vec.New(p.Dim())
+	for _, s := range p.Services {
+		t.AccumAdd(s.ReqAgg)
+	}
+	return t
+}
+
+// Clone returns a deep copy of the problem.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		Nodes:    make([]Node, len(p.Nodes)),
+		Services: make([]Service, len(p.Services)),
+	}
+	for i, n := range p.Nodes {
+		q.Nodes[i] = Node{Name: n.Name, Elementary: n.Elementary.Clone(), Aggregate: n.Aggregate.Clone()}
+	}
+	for i, s := range p.Services {
+		q.Services[i] = Service{
+			Name:    s.Name,
+			ReqElem: s.ReqElem.Clone(), ReqAgg: s.ReqAgg.Clone(),
+			NeedElem: s.NeedElem.Clone(), NeedAgg: s.NeedAgg.Clone(),
+		}
+	}
+	return q
+}

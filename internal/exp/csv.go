@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"vmalloc/internal/workload"
+)
+
+// WriteResultsCSV emits the raw sweep results, one row per (scenario,
+// algorithm): ready for external plotting tools.
+func (rs *ResultSet) WriteResultsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"hosts", "services", "cov", "slack", "mode", "seed",
+		"algorithm", "solved", "min_yield", "runtime_sec"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, name := range rs.Algos {
+		outs := rs.ByAlgo[name]
+		for i, s := range rs.Scenarios {
+			row := []string{
+				strconv.Itoa(s.Hosts),
+				strconv.Itoa(s.Services),
+				formatF(s.COV),
+				formatF(s.Slack),
+				s.Mode.String(),
+				strconv.FormatInt(s.Seed, 10),
+				name,
+				strconv.FormatBool(outs[i].Solved),
+				formatF(outs[i].MinYield),
+				formatF(outs[i].Elapsed.Seconds()),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteErrorCurvesCSV emits the Figures 5–7 series as CSV.
+func WriteErrorCurvesCSV(w io.Writer, curves []ErrorCurves, thresholds []float64) error {
+	cw := csv.NewWriter(w)
+	header := []string{"max_error", "ideal", "zero_knowledge", "caps"}
+	for _, th := range thresholds {
+		header = append(header,
+			fmt.Sprintf("weight_min_%.2f", th),
+			fmt.Sprintf("equal_min_%.2f", th))
+	}
+	header = append(header, "instances")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range curves {
+		row := []string{formatF(c.MaxErr), formatF(c.Ideal), formatF(c.ZeroKnowledge), formatF(c.Caps)}
+		for _, th := range thresholds {
+			row = append(row, formatF(c.Weight[th]), formatF(c.Equal[th]))
+		}
+		row = append(row, strconv.Itoa(c.Instances))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCOVSeriesCSV emits the Figures 2–4 series (difference from ref per
+// COV) as CSV.
+func (rs *ResultSet) WriteCOVSeriesCSV(w io.Writer, names []string, ref string) error {
+	cw := csv.NewWriter(w)
+	header := []string{"cov"}
+	for _, a := range names {
+		header = append(header, a+"_minus_"+ref)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	// Union of COVs in ascending order.
+	covSet := map[float64]bool{}
+	for _, s := range rs.Scenarios {
+		covSet[s.COV] = true
+	}
+	var covs []float64
+	for c := range covSet {
+		covs = append(covs, c)
+	}
+	sortFloats(covs)
+	series := map[string]map[float64]float64{}
+	for _, a := range names {
+		cs, ds := rs.YieldDifferenceSeries(a, ref)
+		m := map[float64]float64{}
+		for i := range cs {
+			m[cs[i]] = ds[i]
+		}
+		series[a] = m
+	}
+	for _, c := range covs {
+		row := []string{formatF(c)}
+		for _, a := range names {
+			if d, ok := series[a][c]; ok {
+				row = append(row, formatF(d))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatF(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+
+// scenarioLabel is a compact identifier used in CSV filenames and logs.
+func scenarioLabel(s workload.Scenario) string { return s.String() }

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"fmt"
+
+	"vmalloc/internal/plot"
+)
+
+// COVPlotSeries converts the Figures 2–4 data into plottable series: one per
+// algorithm, x = COV, y = mean minimum-yield difference from ref.
+func (rs *ResultSet) COVPlotSeries(names []string, ref string) []plot.Series {
+	var out []plot.Series
+	for _, a := range names {
+		covs, diffs := rs.YieldDifferenceSeries(a, ref)
+		out = append(out, plot.Series{Name: fmt.Sprintf("%s - %s", a, ref), X: covs, Y: diffs})
+	}
+	return out
+}
+
+// ErrorPlotSeries converts Figures 5–7 curves into plottable series: ideal,
+// zero-knowledge, caps, and the weight/equal curves per threshold.
+func ErrorPlotSeries(curves []ErrorCurves, thresholds []float64) []plot.Series {
+	n := len(curves)
+	xs := make([]float64, n)
+	ideal := make([]float64, n)
+	zero := make([]float64, n)
+	caps := make([]float64, n)
+	for i, c := range curves {
+		xs[i] = c.MaxErr
+		ideal[i] = c.Ideal
+		zero[i] = c.ZeroKnowledge
+		caps[i] = c.Caps
+	}
+	out := []plot.Series{
+		{Name: "ideal", X: xs, Y: ideal},
+		{Name: "zero-knowledge", X: xs, Y: zero},
+		{Name: "caps", X: xs, Y: caps},
+	}
+	for _, th := range thresholds {
+		w := make([]float64, n)
+		e := make([]float64, n)
+		for i, c := range curves {
+			w[i] = c.Weight[th]
+			e[i] = c.Equal[th]
+		}
+		out = append(out,
+			plot.Series{Name: fmt.Sprintf("weight(min=%.2f)", th), X: xs, Y: w},
+			plot.Series{Name: fmt.Sprintf("equal(min=%.2f)", th), X: xs, Y: e},
+		)
+	}
+	return out
+}

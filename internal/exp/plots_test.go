@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"vmalloc/internal/plot"
+	"vmalloc/internal/workload"
+)
+
+func TestCOVPlotSeries(t *testing.T) {
+	scn := func(cov float64) workload.Scenario { return workload.Scenario{COV: cov} }
+	rs := &ResultSet{
+		Scenarios: []workload.Scenario{scn(0), scn(1)},
+		ByAlgo: map[string][]Outcome{
+			"A":   {{Solved: true, MinYield: 0.5}, {Solved: true, MinYield: 0.2}},
+			"REF": {{Solved: true, MinYield: 0.6}, {Solved: true, MinYield: 0.5}},
+		},
+	}
+	series := rs.COVPlotSeries([]string{"A"}, "REF")
+	if len(series) != 1 || len(series[0].X) != 2 {
+		t.Fatalf("series = %+v", series)
+	}
+	out := plot.Render(series, 40, 8, "cov", "diff")
+	if !strings.Contains(out, "A - REF") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestErrorPlotSeries(t *testing.T) {
+	curves := []ErrorCurves{
+		{MaxErr: 0, Ideal: 0.5, ZeroKnowledge: 0.1, Caps: 0.5,
+			Weight: map[float64]float64{0: 0.5}, Equal: map[float64]float64{0: 0.4}},
+		{MaxErr: 0.2, Ideal: 0.5, ZeroKnowledge: 0.1, Caps: 0.1,
+			Weight: map[float64]float64{0: 0.3}, Equal: map[float64]float64{0: 0.35}},
+	}
+	series := ErrorPlotSeries(curves, []float64{0})
+	// ideal, zero, caps + weight/equal for one threshold = 5 series.
+	if len(series) != 5 {
+		t.Fatalf("|series| = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.X) != 2 || len(s.Y) != 2 {
+			t.Fatalf("series %s has wrong shape", s.Name)
+		}
+	}
+	out := plot.Render(series, 40, 10, "err", "yield")
+	if !strings.Contains(out, "zero-knowledge") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}

@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"vmalloc/internal/workload"
+)
+
+func profileScenarios() []workload.Scenario {
+	return []workload.Scenario{
+		{Hosts: 6, Services: 18, COV: 0.6, Slack: 0.4, Seed: 1},
+		{Hosts: 6, Services: 18, COV: 0.6, Slack: 0.4, Seed: 2},
+		{Hosts: 6, Services: 18, COV: 0.2, Slack: 0.6, Seed: 3},
+	}
+}
+
+func TestProfileStrategiesShapeAndOrdering(t *testing.T) {
+	stats := ProfileStrategies(profileScenarios(), 1e-2, 0)
+	if len(stats) != 253 {
+		t.Fatalf("|stats| = %d, want 253", len(stats))
+	}
+	for i := 1; i < len(stats); i++ {
+		a, b := &stats[i-1], &stats[i]
+		if a.Solved < b.Solved {
+			t.Fatalf("ranking broken at %d: %d < %d solved", i, a.Solved, b.Solved)
+		}
+		if a.Solved == b.Solved && a.MeanYield < b.MeanYield-1e-12 {
+			t.Fatalf("yield tiebreak broken at %d", i)
+		}
+	}
+	for _, s := range stats {
+		if s.Solved > s.Instances {
+			t.Fatalf("solved %d > instances %d", s.Solved, s.Instances)
+		}
+		if s.SuccessRate() < 0 || s.SuccessRate() > 1 {
+			t.Fatalf("rate %v", s.SuccessRate())
+		}
+	}
+}
+
+func TestRenderProfileAndLightCoverage(t *testing.T) {
+	stats := ProfileStrategies(profileScenarios(), 1e-2, 4)
+	out := RenderProfile(stats, 10)
+	if !strings.Contains(out, "rank") || !strings.Contains(out, "HVP-") {
+		t.Fatalf("render:\n%s", out)
+	}
+	cov := LightCoverage(stats, 50)
+	if cov < 0 || cov > 1 {
+		t.Fatalf("coverage = %v", cov)
+	}
+	// The LIGHT subset was engineered from exactly this ranking; on a small
+	// sweep it should still capture a substantial share of the top 50.
+	if cov < 0.2 {
+		t.Fatalf("LIGHT covers only %.0f%% of the top 50 strategies", cov*100)
+	}
+}

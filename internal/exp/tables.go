@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"vmalloc/internal/workload"
+)
+
+// Table1 renders the §5 pairwise comparison matrix for the given algorithm
+// names: cell (row A, column B) holds (Y_{A,B}%, S_{A,B}%), positive values
+// favoring A.
+func (rs *ResultSet) Table1(names []string) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "A/B")
+	for _, b := range names {
+		fmt.Fprintf(w, "\t%s", b)
+	}
+	fmt.Fprintln(w)
+	for _, a := range names {
+		fmt.Fprintf(w, "%s", a)
+		for _, b := range names {
+			if a == b {
+				fmt.Fprintf(w, "\t—")
+				continue
+			}
+			pw := rs.ComparePair(a, b)
+			fmt.Fprintf(w, "\t(%+.1f%%, %+.1f%%)", pw.YAB, pw.SAB)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// Table2 renders average run times per algorithm, one column per service
+// count present in the result set (the layout of paper Table 2).
+func (rs *ResultSet) Table2(names []string) string {
+	var sizes []int
+	seen := map[int]bool{}
+	for _, s := range rs.Scenarios {
+		if !seen[s.Services] {
+			seen[s.Services] = true
+			sizes = append(sizes, s.Services)
+		}
+	}
+	sort.Ints(sizes)
+
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Algorithm")
+	for _, n := range sizes {
+		fmt.Fprintf(w, "\t%d tasks", n)
+	}
+	fmt.Fprintln(w)
+	for _, a := range names {
+		fmt.Fprintf(w, "%s", a)
+		for _, n := range sizes {
+			sub := rs.Filter(func(s workload.Scenario) bool { return s.Services == n })
+			fmt.Fprintf(w, "\t%.3fs", sub.MeanRuntime(a).Seconds())
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// FigureYieldVsCOV renders the Figures 2–4 series: per COV value, the mean
+// minimum-yield difference of each algorithm from the reference (METAHVP).
+func (rs *ResultSet) FigureYieldVsCOV(names []string, ref string) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "cov")
+	for _, a := range names {
+		fmt.Fprintf(w, "\t%s-%s", a, ref)
+	}
+	fmt.Fprintln(w)
+	// Collect the union of COV values.
+	covSet := map[float64]bool{}
+	for _, s := range rs.Scenarios {
+		covSet[s.COV] = true
+	}
+	var covs []float64
+	for c := range covSet {
+		covs = append(covs, c)
+	}
+	sort.Float64s(covs)
+
+	series := map[string]map[float64]float64{}
+	for _, a := range names {
+		cs, ds := rs.YieldDifferenceSeries(a, ref)
+		m := map[float64]float64{}
+		for i := range cs {
+			m[cs[i]] = ds[i]
+		}
+		series[a] = m
+	}
+	for _, c := range covs {
+		fmt.Fprintf(w, "%.3f", c)
+		for _, a := range names {
+			if d, ok := series[a][c]; ok {
+				fmt.Fprintf(w, "\t%+.4f", d)
+			} else {
+				fmt.Fprintf(w, "\t-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// FigureErrorCurves renders the Figures 5–7 series: per max-error value, the
+// average achieved minimum yield of each policy/threshold curve.
+func FigureErrorCurves(curves []ErrorCurves, thresholds []float64) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "maxerr\tideal\tzero-knowledge\tcaps")
+	for _, th := range thresholds {
+		fmt.Fprintf(w, "\tweight(min=%.2f)\tequal(min=%.2f)", th, th)
+	}
+	fmt.Fprintln(w)
+	for _, c := range curves {
+		fmt.Fprintf(w, "%.3f\t%.4f\t%.4f\t%.4f", c.MaxErr, c.Ideal, c.ZeroKnowledge, c.Caps)
+		for _, th := range thresholds {
+			fmt.Fprintf(w, "\t%.4f\t%.4f", c.Weight[th], c.Equal[th])
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// SuccessSummary renders success rate and mean yield per algorithm.
+func (rs *ResultSet) SuccessSummary(names []string) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Algorithm\tsolved\tmean min yield\tmean runtime")
+	for _, a := range names {
+		fmt.Fprintf(w, "%s\t%.1f%%\t%.4f\t%.3fs\n",
+			a, rs.SuccessRate(a)*100, rs.MeanYield(a), rs.MeanRuntime(a).Seconds())
+	}
+	w.Flush()
+	return sb.String()
+}

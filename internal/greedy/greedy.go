@@ -1,0 +1,274 @@
+// Package greedy implements the paper's greedy placement family (§3.4):
+// seven service sorting strategies S1–S7 crossed with seven node selection
+// strategies P1–P7, for 49 algorithms, plus METAGREEDY, which runs all 49 and
+// keeps the best solution.
+//
+// A greedy algorithm walks the (sorted) services and places each on a node
+// chosen among those whose remaining capacity can still satisfy the
+// service's rigid requirements. Load bookkeeping for the selection criteria
+// uses the service's full demand (requirements plus needs), the quantity the
+// service would consume at yield 1. Once every service is placed the
+// minimum yield is obtained by giving each node its maximum uniform yield.
+package greedy
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"vmalloc/internal/core"
+	"vmalloc/internal/vec"
+)
+
+// SortStrategy selects the service ordering (paper S1–S7).
+type SortStrategy int
+
+const (
+	// S1 keeps services in their natural order.
+	S1 SortStrategy = iota + 1
+	// S2 sorts by decreasing maximum need.
+	S2
+	// S3 sorts by decreasing sum of needs.
+	S3
+	// S4 sorts by decreasing maximum requirement.
+	S4
+	// S5 sorts by decreasing sum of requirements.
+	S5
+	// S6 sorts by decreasing max(sum of requirements, sum of needs).
+	S6
+	// S7 sorts by decreasing sum of requirements and needs.
+	S7
+)
+
+// String returns the paper's label for the strategy.
+func (s SortStrategy) String() string { return fmt.Sprintf("S%d", int(s)) }
+
+// PickStrategy selects the node choice rule (paper P1–P7).
+type PickStrategy int
+
+const (
+	// P1 picks the node with the most available capacity in the service's
+	// dimension of maximum need.
+	P1 PickStrategy = iota + 1
+	// P2 picks the node minimizing the ratio of summed loads to summed
+	// capacities after placement.
+	P2
+	// P3 picks the node with the least remaining capacity in the service's
+	// dimension of largest requirement (best fit).
+	P3
+	// P4 picks the node with the least aggregate available capacity
+	// (best fit).
+	P4
+	// P5 picks the node with the most capacity remaining in the service's
+	// dimension of largest requirement (worst fit).
+	P5
+	// P6 picks the node with the most total available resource (worst fit).
+	P6
+	// P7 picks the first node that fits (first fit).
+	P7
+)
+
+// String returns the paper's label for the strategy.
+func (p PickStrategy) String() string { return fmt.Sprintf("P%d", int(p)) }
+
+// SortStrategies lists S1–S7.
+func SortStrategies() []SortStrategy {
+	return []SortStrategy{S1, S2, S3, S4, S5, S6, S7}
+}
+
+// PickStrategies lists P1–P7.
+func PickStrategies() []PickStrategy {
+	return []PickStrategy{P1, P2, P3, P4, P5, P6, P7}
+}
+
+// sortKey returns the (descending) key for a service under strategy s.
+func sortKey(s SortStrategy, svc *core.Service) float64 {
+	switch s {
+	case S2:
+		return svc.NeedAgg.Max()
+	case S3:
+		return svc.NeedAgg.Sum()
+	case S4:
+		return svc.ReqAgg.Max()
+	case S5:
+		return svc.ReqAgg.Sum()
+	case S6:
+		r, n := svc.ReqAgg.Sum(), svc.NeedAgg.Sum()
+		if r > n {
+			return r
+		}
+		return n
+	case S7:
+		return svc.ReqAgg.Sum() + svc.NeedAgg.Sum()
+	default:
+		return 0
+	}
+}
+
+// orderServices returns service indices in the order mandated by s.
+func orderServices(p *core.Problem, s SortStrategy) []int {
+	idx := make([]int, p.NumServices())
+	for i := range idx {
+		idx[i] = i
+	}
+	if s == S1 {
+		return idx
+	}
+	keys := make([]float64, len(idx))
+	for i := range idx {
+		keys[i] = sortKey(s, &p.Services[i])
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] > keys[idx[b]] })
+	return idx
+}
+
+// state tracks per-node bookkeeping during one greedy run.
+type state struct {
+	p *core.Problem
+	// reqLoad is the sum of aggregate requirements (feasibility bookkeeping).
+	reqLoad []vec.Vec
+	// demandLoad is the sum of full demands (selection bookkeeping).
+	demandLoad []vec.Vec
+}
+
+func newState(p *core.Problem) *state {
+	st := &state{p: p,
+		reqLoad:    make([]vec.Vec, p.NumNodes()),
+		demandLoad: make([]vec.Vec, p.NumNodes()),
+	}
+	for h := range st.reqLoad {
+		st.reqLoad[h] = vec.New(p.Dim())
+		st.demandLoad[h] = vec.New(p.Dim())
+	}
+	return st
+}
+
+func (st *state) place(j, h int) {
+	s := &st.p.Services[j]
+	st.reqLoad[h].AccumAdd(s.ReqAgg)
+	st.demandLoad[h].AccumAdd(s.ReqAgg)
+	st.demandLoad[h].AccumAdd(s.NeedAgg)
+}
+
+// available returns the node's aggregate capacity minus demand load (may be
+// negative when a node is oversubscribed in terms of needs).
+func (st *state) available(h int) vec.Vec {
+	return st.p.Nodes[h].Aggregate.Sub(st.demandLoad[h])
+}
+
+// argMaxDim returns the index of the largest component, ties to the lowest
+// dimension.
+func argMaxDim(v vec.Vec) int {
+	best, bestV := 0, v[0]
+	for d := 1; d < len(v); d++ {
+		if v[d] > bestV {
+			best, bestV = d, v[d]
+		}
+	}
+	return best
+}
+
+// pickNode applies strategy pick to choose among nodes that can satisfy the
+// service's rigid requirements. It returns -1 when no node fits.
+func (st *state) pickNode(j int, pick PickStrategy) int {
+	s := &st.p.Services[j]
+	best := -1
+	var bestScore float64
+	better := func(score float64, h int) bool {
+		if best == -1 {
+			return true
+		}
+		switch pick {
+		case P2, P3, P4: // minimize
+			return score < bestScore
+		default: // maximize
+			return score > bestScore
+		}
+	}
+	for h := 0; h < st.p.NumNodes(); h++ {
+		if !s.FitsRequirements(&st.p.Nodes[h], st.reqLoad[h]) {
+			continue
+		}
+		if pick == P7 {
+			return h
+		}
+		var score float64
+		switch pick {
+		case P1:
+			score = st.available(h)[argMaxDim(s.NeedAgg)]
+		case P2:
+			after := st.demandLoad[h].Add(s.Demand()).Sum()
+			capSum := st.p.Nodes[h].Aggregate.Sum()
+			if capSum <= 0 {
+				continue
+			}
+			score = after / capSum
+		case P3, P5:
+			score = st.available(h)[argMaxDim(s.ReqAgg)]
+		case P4, P6:
+			score = st.available(h).Sum()
+		}
+		if better(score, h) {
+			best, bestScore = h, score
+		}
+	}
+	return best
+}
+
+// Solve runs one greedy algorithm (sortStrat, pickStrat) on p.
+func Solve(p *core.Problem, sortStrat SortStrategy, pickStrat PickStrategy) *core.Result {
+	st := newState(p)
+	pl := core.NewPlacement(p.NumServices())
+	for _, j := range orderServices(p, sortStrat) {
+		h := st.pickNode(j, pickStrat)
+		if h < 0 {
+			return &core.Result{Placement: pl}
+		}
+		pl[j] = h
+		st.place(j, h)
+	}
+	return core.EvaluatePlacement(p, pl)
+}
+
+// MetaGreedy runs all 49 greedy algorithms and returns the best result
+// (highest minimum yield among those that solve the instance). When parallel
+// is true the algorithms run concurrently on up to GOMAXPROCS workers.
+func MetaGreedy(p *core.Problem, parallel bool) *core.Result {
+	type combo struct {
+		s SortStrategy
+		k PickStrategy
+	}
+	var combos []combo
+	for _, s := range SortStrategies() {
+		for _, k := range PickStrategies() {
+			combos = append(combos, combo{s, k})
+		}
+	}
+	results := make([]*core.Result, len(combos))
+	if parallel {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for i, c := range combos {
+			wg.Add(1)
+			go func(i int, c combo) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i] = Solve(p, c.s, c.k)
+			}(i, c)
+		}
+		wg.Wait()
+	} else {
+		for i, c := range combos {
+			results[i] = Solve(p, c.s, c.k)
+		}
+	}
+	best := &core.Result{}
+	for _, r := range results {
+		if r.Solved && (!best.Solved || r.MinYield > best.MinYield) {
+			best = r
+		}
+	}
+	return best
+}

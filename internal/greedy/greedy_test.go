@@ -1,0 +1,207 @@
+package greedy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vmalloc/internal/core"
+	"vmalloc/internal/vec"
+)
+
+// twoNodeProblem: node 0 is large, node 1 small; two services, the bigger of
+// which only fits on node 0.
+func twoNodeProblem() *core.Problem {
+	return &core.Problem{
+		Nodes: []core.Node{
+			{Elementary: vec.Of(0.5, 1.0), Aggregate: vec.Of(2.0, 1.0)},
+			{Elementary: vec.Of(0.25, 0.5), Aggregate: vec.Of(1.0, 0.5)},
+		},
+		Services: []core.Service{
+			{ // big: memory 0.8 only fits node 0
+				ReqElem: vec.Of(0.1, 0.8), ReqAgg: vec.Of(0.1, 0.8),
+				NeedElem: vec.Of(0.4, 0), NeedAgg: vec.Of(1.2, 0),
+			},
+			{ // small: fits anywhere
+				ReqElem: vec.Of(0.1, 0.2), ReqAgg: vec.Of(0.1, 0.2),
+				NeedElem: vec.Of(0.2, 0), NeedAgg: vec.Of(0.5, 0),
+			},
+		},
+	}
+}
+
+func TestAllCombosProduceValidResults(t *testing.T) {
+	p := twoNodeProblem()
+	for _, s := range SortStrategies() {
+		for _, k := range PickStrategies() {
+			res := Solve(p, s, k)
+			if !res.Solved {
+				continue
+			}
+			if err := res.Placement.Validate(p); err != nil {
+				t.Fatalf("%v/%v: invalid placement: %v", s, k, err)
+			}
+			if res.MinYield < 0 || res.MinYield > 1 {
+				t.Fatalf("%v/%v: yield %v out of range", s, k, res.MinYield)
+			}
+		}
+	}
+}
+
+func TestSortOrders(t *testing.T) {
+	p := twoNodeProblem()
+	// S2: decreasing max need -> service 0 (1.2) before service 1 (0.5).
+	got := orderServices(p, S2)
+	if got[0] != 0 {
+		t.Fatalf("S2 order = %v", got)
+	}
+	// S1 keeps natural order.
+	got = orderServices(p, S1)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("S1 order = %v", got)
+	}
+	// S5: decreasing sum of requirements -> svc0 (0.9) before svc1 (0.3).
+	got = orderServices(p, S5)
+	if got[0] != 0 {
+		t.Fatalf("S5 order = %v", got)
+	}
+}
+
+func TestSortKeysMatchDefinitions(t *testing.T) {
+	svc := &core.Service{
+		ReqAgg:  vec.Of(0.3, 0.1),
+		NeedAgg: vec.Of(0.2, 0.6),
+	}
+	cases := []struct {
+		s    SortStrategy
+		want float64
+	}{
+		{S2, 0.6}, {S3, 0.8}, {S4, 0.3}, {S5, 0.4}, {S6, 0.8}, {S7, 1.2},
+	}
+	for _, c := range cases {
+		if got := sortKey(c.s, svc); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%v key = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestFirstFitP7PlacesOnFirstFeasible(t *testing.T) {
+	p := twoNodeProblem()
+	res := Solve(p, S1, P7)
+	if !res.Solved {
+		t.Fatal("P7 failed")
+	}
+	// Both services fit on node 0 at requirement level, so first-fit puts
+	// both there.
+	if res.Placement[0] != 0 || res.Placement[1] != 0 {
+		t.Fatalf("placement = %v", res.Placement)
+	}
+}
+
+func TestWorstFitSpreadsLoad(t *testing.T) {
+	// Two identical nodes, two identical services: P6 (most total available)
+	// must spread them.
+	n := core.Node{Elementary: vec.Of(0.5, 1.0), Aggregate: vec.Of(1.0, 1.0)}
+	s := core.Service{
+		ReqElem: vec.Of(0.1, 0.3), ReqAgg: vec.Of(0.1, 0.3),
+		NeedElem: vec.Of(0.4, 0), NeedAgg: vec.Of(0.8, 0),
+	}
+	p := &core.Problem{Nodes: []core.Node{n, n}, Services: []core.Service{s, s}}
+	res := Solve(p, S1, P6)
+	if !res.Solved {
+		t.Fatal("failed")
+	}
+	if res.Placement[0] == res.Placement[1] {
+		t.Fatalf("worst fit should spread: %v", res.Placement)
+	}
+	// Spread placement: each node has 0.9 CPU slack vs need 0.8 -> yield 1.
+	if math.Abs(res.MinYield-1.0) > 1e-9 {
+		t.Fatalf("yield = %v", res.MinYield)
+	}
+}
+
+func TestBestFitPacksTogether(t *testing.T) {
+	// Same setup: P4 (least available) stacks the second service on the
+	// same node as the first.
+	n := core.Node{Elementary: vec.Of(0.5, 1.0), Aggregate: vec.Of(1.0, 1.0)}
+	s := core.Service{
+		ReqElem: vec.Of(0.1, 0.3), ReqAgg: vec.Of(0.1, 0.3),
+		NeedElem: vec.Of(0.4, 0), NeedAgg: vec.Of(0.8, 0),
+	}
+	p := &core.Problem{Nodes: []core.Node{n, n}, Services: []core.Service{s, s}}
+	res := Solve(p, S1, P4)
+	if !res.Solved {
+		t.Fatal("failed")
+	}
+	if res.Placement[0] != res.Placement[1] {
+		t.Fatalf("best fit should stack: %v", res.Placement)
+	}
+}
+
+func TestFailureWhenNothingFits(t *testing.T) {
+	p := twoNodeProblem()
+	p.Services[0].ReqAgg = vec.Of(0.1, 5.0) // memory requirement too large
+	for _, k := range PickStrategies() {
+		if res := Solve(p, S1, k); res.Solved {
+			t.Fatalf("%v: should fail", k)
+		}
+	}
+	if res := MetaGreedy(p, false); res.Solved {
+		t.Fatal("MetaGreedy should fail when no node fits")
+	}
+}
+
+func TestMetaGreedyAtLeastAsGoodAsEveryCombo(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 20; iter++ {
+		p := randomProblem(rng, 3, 8)
+		meta := MetaGreedy(p, false)
+		for _, s := range SortStrategies() {
+			for _, k := range PickStrategies() {
+				r := Solve(p, s, k)
+				if r.Solved && (!meta.Solved || r.MinYield > meta.MinYield+1e-9) {
+					t.Fatalf("iter %d: %v/%v yield %v beats meta %v(solved=%v)",
+						iter, s, k, r.MinYield, meta.MinYield, meta.Solved)
+				}
+			}
+		}
+	}
+}
+
+func TestMetaGreedyParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for iter := 0; iter < 10; iter++ {
+		p := randomProblem(rng, 4, 12)
+		seq := MetaGreedy(p, false)
+		par := MetaGreedy(p, true)
+		if seq.Solved != par.Solved {
+			t.Fatalf("iter %d: solved mismatch %v vs %v", iter, seq.Solved, par.Solved)
+		}
+		if seq.Solved && math.Abs(seq.MinYield-par.MinYield) > 1e-12 {
+			t.Fatalf("iter %d: yields differ: %v vs %v", iter, seq.MinYield, par.MinYield)
+		}
+	}
+}
+
+func randomProblem(rng *rand.Rand, h, j int) *core.Problem {
+	p := &core.Problem{}
+	for i := 0; i < h; i++ {
+		cpu := 0.3 + rng.Float64()*0.7
+		mem := 0.3 + rng.Float64()*0.7
+		p.Nodes = append(p.Nodes, core.Node{
+			Elementary: vec.Of(cpu/4, mem),
+			Aggregate:  vec.Of(cpu, mem),
+		})
+	}
+	for s := 0; s < j; s++ {
+		mem := rng.Float64() * 0.2
+		need := rng.Float64() * 0.4
+		p.Services = append(p.Services, core.Service{
+			ReqElem:  vec.Of(0.01, mem),
+			ReqAgg:   vec.Of(0.01, mem),
+			NeedElem: vec.Of(need/4, 0),
+			NeedAgg:  vec.Of(need, 0),
+		})
+	}
+	return p
+}

@@ -1,0 +1,503 @@
+package lp
+
+import (
+	"math"
+)
+
+// SolveRevised maximizes the problem with a revised bounded simplex: the
+// constraint matrix is stored column-sparse and only the dense m×m basis
+// inverse is maintained, so memory is O(m² + nnz) instead of the dense
+// tableau's O(m·(n+m)). Results match Solve (both are exact); the revised
+// path wins on the large sparse relaxations produced by internal/relax.
+func SolveRevised(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rv := newRevised(p)
+
+	if rv.needPhase1() {
+		for i := 0; i < rv.m; i++ {
+			rv.cost[rv.nReal+i] = -1
+		}
+		st := rv.iterate()
+		if st == IterLimit {
+			return &Solution{Status: IterLimit, Iters: rv.iters}, nil
+		}
+		if rv.phase1Objective() < -feasTol {
+			return &Solution{Status: Infeasible, Iters: rv.iters}, nil
+		}
+		rv.driveOutArtificials()
+	}
+	for j := rv.nReal; j < rv.n; j++ {
+		rv.banned[j] = true
+		rv.upper[j] = 0
+		rv.cost[j] = 0
+	}
+	for j := 0; j < rv.nStruct; j++ {
+		rv.cost[j] = p.Obj[j]
+	}
+	for j := rv.nStruct; j < rv.nReal; j++ {
+		rv.cost[j] = 0
+	}
+
+	st := rv.iterate()
+	sol := &Solution{Status: st, Iters: rv.iters}
+	if st != Optimal {
+		return sol, nil
+	}
+	x := rv.extract()
+	sol.X = x[:rv.nStruct]
+	for j, c := range p.Obj {
+		sol.Objective += c * sol.X[j]
+	}
+	y := rv.dualVector()
+	sol.Duals = make([]float64, rv.m)
+	for i := 0; i < rv.m; i++ {
+		sol.Duals[i] = rv.rowSign[i] * y[i]
+	}
+	sol.BoundDuals = make([]float64, rv.nStruct)
+	for j := 0; j < rv.nStruct; j++ {
+		if rv.status[j] == atUpper {
+			if d := rv.reducedCost(j, y); d > 0 {
+				sol.BoundDuals[j] = d
+			}
+		}
+	}
+	return sol, nil
+}
+
+// sparseCol is one column of the equality-form constraint matrix.
+type sparseCol struct {
+	rows []int
+	vals []float64
+}
+
+// revised is the revised-simplex state.
+type revised struct {
+	m, n    int
+	nStruct int
+	nReal   int
+	cols    []sparseCol // all n columns, sign-normalized
+	b       []float64   // sign-normalized rhs
+	rowSign []float64
+	binv    [][]float64 // dense basis inverse
+	xB      []float64   // values of basic variables per row
+	basis   []int
+	inBasis []int // column -> row, or -1
+	status  []varStatus
+	upper   []float64
+	cost    []float64 // raw costs of the current phase
+	banned  []bool
+	iters   int
+	maxIter int
+	scratch []float64
+}
+
+func newRevised(p *Problem) *revised {
+	m, ns := p.NumRows(), p.NumVars()
+	nSlack := 0
+	slackOf := make([]int, m)
+	for i, s := range p.Sense {
+		if s == EQ {
+			slackOf[i] = -1
+		} else {
+			slackOf[i] = ns + nSlack
+			nSlack++
+		}
+	}
+	nReal := ns + nSlack
+	n := nReal + m
+
+	rv := &revised{
+		m: m, n: n, nStruct: ns, nReal: nReal,
+		cols:    make([]sparseCol, n),
+		b:       make([]float64, m),
+		rowSign: make([]float64, m),
+		binv:    make([][]float64, m),
+		xB:      make([]float64, m),
+		basis:   make([]int, m),
+		inBasis: make([]int, n),
+		status:  make([]varStatus, n),
+		upper:   make([]float64, n),
+		cost:    make([]float64, n),
+		banned:  make([]bool, n),
+		maxIter: 200 * (m + n + 10),
+		scratch: make([]float64, m),
+	}
+	for j := range rv.inBasis {
+		rv.inBasis[j] = -1
+	}
+	for j := 0; j < ns; j++ {
+		if p.Upper != nil {
+			rv.upper[j] = p.Upper[j]
+		} else {
+			rv.upper[j] = math.Inf(1)
+		}
+	}
+	for j := ns; j < n; j++ {
+		rv.upper[j] = math.Inf(1)
+	}
+
+	// Build sign-normalized sparse columns.
+	sign := make([]float64, m)
+	for i := 0; i < m; i++ {
+		sign[i] = 1
+		if p.B[i] < 0 {
+			sign[i] = -1
+		}
+		rv.rowSign[i] = sign[i]
+		rv.b[i] = sign[i] * p.B[i]
+	}
+	for j := 0; j < ns; j++ {
+		var c sparseCol
+		for i := 0; i < m; i++ {
+			if v := p.A[i][j]; v != 0 {
+				c.rows = append(c.rows, i)
+				c.vals = append(c.vals, sign[i]*v)
+			}
+		}
+		rv.cols[j] = c
+	}
+	for i := 0; i < m; i++ {
+		if sj := slackOf[i]; sj >= 0 {
+			v := 1.0
+			if p.Sense[i] == GE {
+				v = -1
+			}
+			rv.cols[sj] = sparseCol{rows: []int{i}, vals: []float64{sign[i] * v}}
+		}
+		rv.cols[nReal+i] = sparseCol{rows: []int{i}, vals: []float64{1}}
+	}
+
+	// Initial basis: slack when its coefficient is +1, else artificial.
+	for i := 0; i < m; i++ {
+		rv.binv[i] = make([]float64, m)
+		rv.binv[i][i] = 1
+		rv.xB[i] = rv.b[i]
+		col := nReal + i
+		if sj := slackOf[i]; sj >= 0 && rv.cols[sj].vals[0] == 1 {
+			col = sj
+			rv.upper[nReal+i] = 0
+		}
+		rv.basis[i] = col
+		rv.inBasis[col] = i
+		rv.status[col] = basic
+	}
+	return rv
+}
+
+func (rv *revised) needPhase1() bool {
+	for _, b := range rv.basis {
+		if b >= rv.nReal {
+			return true
+		}
+	}
+	return false
+}
+
+func (rv *revised) phase1Objective() float64 {
+	s := 0.0
+	for i, b := range rv.basis {
+		if b >= rv.nReal {
+			s -= rv.xB[i]
+		}
+	}
+	return s
+}
+
+// dualVector returns y = c_B^T · B^{-1}.
+func (rv *revised) dualVector() []float64 {
+	y := make([]float64, rv.m)
+	for i := 0; i < rv.m; i++ {
+		cb := rv.cost[rv.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := rv.binv[i]
+		for k := 0; k < rv.m; k++ {
+			y[k] += cb * row[k]
+		}
+	}
+	return y
+}
+
+// reducedCost computes d_j = c_j - y·A_j.
+func (rv *revised) reducedCost(j int, y []float64) float64 {
+	d := rv.cost[j]
+	c := &rv.cols[j]
+	for k, r := range c.rows {
+		d -= y[r] * c.vals[k]
+	}
+	return d
+}
+
+// ftran computes w = B^{-1} · A_j into rv.scratch.
+func (rv *revised) ftran(j int) []float64 {
+	w := rv.scratch
+	for i := range w {
+		w[i] = 0
+	}
+	c := &rv.cols[j]
+	for k, r := range c.rows {
+		v := c.vals[k]
+		for i := 0; i < rv.m; i++ {
+			w[i] += rv.binv[i][r] * v
+		}
+	}
+	return w
+}
+
+func (rv *revised) iterate() Status {
+	stall := 0
+	bland := false
+	for ; rv.iters < rv.maxIter; rv.iters++ {
+		if rv.iters%256 == 255 {
+			rv.refreshXB() // limit incremental drift
+		}
+		y := rv.dualVector()
+		enter, d := rv.chooseEntering(y, bland)
+		if enter < 0 {
+			return Optimal
+		}
+		w := rv.ftran(enter)
+		row, leaveTo, delta := rv.ratioTest(enter, w)
+		if row == -2 {
+			return Unbounded
+		}
+		rv.apply(enter, w, row, leaveTo, delta)
+		if math.Abs(d)*delta > 1e-12 {
+			stall = 0
+			bland = false
+		} else if stall++; stall > 2*(rv.m+10) {
+			bland = true
+		}
+	}
+	return IterLimit
+}
+
+func (rv *revised) chooseEntering(y []float64, bland bool) (int, float64) {
+	best, bestScore, bestD := -1, costTol, 0.0
+	for j := 0; j < rv.n; j++ {
+		if rv.status[j] == basic || rv.banned[j] || rv.upper[j] == 0 {
+			continue
+		}
+		d := rv.reducedCost(j, y)
+		var score float64
+		if rv.status[j] == atLower && d > costTol {
+			score = d
+		} else if rv.status[j] == atUpper && d < -costTol {
+			score = -d
+		} else {
+			continue
+		}
+		if bland {
+			return j, d
+		}
+		if score > bestScore {
+			best, bestScore, bestD = j, score, d
+		}
+	}
+	return best, bestD
+}
+
+// ratioTest mirrors the dense solver's bounded ratio test over the computed
+// direction w = B^{-1}A_enter.
+func (rv *revised) ratioTest(enter int, w []float64) (row int, leaveTo varStatus, delta float64) {
+	dir := 1.0
+	if rv.status[enter] == atUpper {
+		dir = -1
+	}
+	limit := math.Inf(1)
+	if u := rv.upper[enter]; !math.IsInf(u, 1) {
+		limit = u
+	}
+	row, leaveTo = -1, atLower
+	for i := 0; i < rv.m; i++ {
+		a := w[i] * dir
+		if math.Abs(a) < pivotTol {
+			continue
+		}
+		var ratio float64
+		var to varStatus
+		if a > 0 {
+			ratio = rv.xB[i] / a
+			to = atLower
+		} else {
+			u := rv.upper[rv.basis[i]]
+			if math.IsInf(u, 1) {
+				continue
+			}
+			ratio = (u - rv.xB[i]) / -a
+			to = atUpper
+		}
+		if ratio < -1e-9 {
+			ratio = 0
+		}
+		if ratio < limit-1e-12 {
+			limit = ratio
+			row, leaveTo = i, to
+		}
+	}
+	if math.IsInf(limit, 1) {
+		return -2, atLower, 0
+	}
+	return row, leaveTo, limit
+}
+
+func (rv *revised) apply(enter int, w []float64, row int, leaveTo varStatus, delta float64) {
+	dir := 1.0
+	if rv.status[enter] == atUpper {
+		dir = -1
+	}
+	if delta != 0 {
+		for i := 0; i < rv.m; i++ {
+			rv.xB[i] -= w[i] * dir * delta
+			if rv.xB[i] < 0 && rv.xB[i] > -zeroClampT {
+				rv.xB[i] = 0
+			}
+		}
+	}
+	if row == -1 {
+		if rv.status[enter] == atLower {
+			rv.status[enter] = atUpper
+		} else {
+			rv.status[enter] = atLower
+		}
+		return
+	}
+	newVal := delta
+	if rv.status[enter] == atUpper {
+		newVal = rv.upper[enter] - delta
+	}
+	old := rv.basis[row]
+	rv.status[old] = leaveTo
+	rv.inBasis[old] = -1
+
+	// Update the basis inverse: eliminate w from all rows but the pivot row.
+	piv := w[row]
+	br := rv.binv[row]
+	inv := 1 / piv
+	for k := 0; k < rv.m; k++ {
+		br[k] *= inv
+	}
+	for i := 0; i < rv.m; i++ {
+		if i == row {
+			continue
+		}
+		f := w[i]
+		if f == 0 {
+			continue
+		}
+		bi := rv.binv[i]
+		for k := 0; k < rv.m; k++ {
+			bi[k] -= f * br[k]
+		}
+	}
+
+	rv.basis[row] = enter
+	rv.inBasis[enter] = row
+	rv.status[enter] = basic
+	rv.xB[row] = newVal
+}
+
+func (rv *revised) driveOutArtificials() {
+	for i := 0; i < rv.m; i++ {
+		if rv.basis[i] < rv.nReal {
+			continue
+		}
+		// Find a real nonbasic column with a nonzero entry in row i of
+		// B^{-1}A.
+		piv := -1
+		var wPiv []float64
+		for j := 0; j < rv.nReal; j++ {
+			if rv.status[j] == basic {
+				continue
+			}
+			w := rv.ftran(j)
+			if math.Abs(w[i]) > 1e-7 {
+				piv = j
+				wPiv = append([]float64(nil), w...)
+				break
+			}
+		}
+		if piv < 0 {
+			continue // redundant row: artificial stays basic at ~0
+		}
+		// Degenerate pivot at value 0 (or the variable's current bound).
+		val := 0.0
+		if rv.status[piv] == atUpper {
+			val = rv.upper[piv]
+		}
+		copy(rv.scratch, wPiv)
+		old := rv.basis[i]
+		rv.status[old] = atLower
+		rv.inBasis[old] = -1
+		pivV := wPiv[i]
+		br := rv.binv[i]
+		inv := 1 / pivV
+		for k := 0; k < rv.m; k++ {
+			br[k] *= inv
+		}
+		for r := 0; r < rv.m; r++ {
+			if r == i {
+				continue
+			}
+			f := wPiv[r]
+			if f == 0 {
+				continue
+			}
+			bi := rv.binv[r]
+			for k := 0; k < rv.m; k++ {
+				bi[k] -= f * br[k]
+			}
+		}
+		rv.basis[i] = piv
+		rv.inBasis[piv] = i
+		rv.status[piv] = basic
+		rv.xB[i] = val
+	}
+}
+
+// refreshXB recomputes the basic values from scratch:
+// x_B = B^{-1}·(b − Σ_{j at upper} A_j·u_j), countering incremental drift.
+func (rv *revised) refreshXB() {
+	r := make([]float64, rv.m)
+	copy(r, rv.b)
+	for j := 0; j < rv.n; j++ {
+		if rv.status[j] == atUpper && rv.upper[j] != 0 {
+			c := &rv.cols[j]
+			u := rv.upper[j]
+			for k, row := range c.rows {
+				r[row] -= c.vals[k] * u
+			}
+		}
+	}
+	for i := 0; i < rv.m; i++ {
+		s := 0.0
+		row := rv.binv[i]
+		for k := 0; k < rv.m; k++ {
+			s += row[k] * r[k]
+		}
+		if s < 0 && s > -feasTol {
+			s = 0
+		}
+		rv.xB[i] = s
+	}
+}
+
+func (rv *revised) extract() []float64 {
+	x := make([]float64, rv.n)
+	for j := 0; j < rv.n; j++ {
+		if rv.status[j] == atUpper {
+			x[j] = rv.upper[j]
+		}
+	}
+	for i, b := range rv.basis {
+		v := rv.xB[i]
+		if v < 0 && v > -feasTol {
+			v = 0
+		}
+		x[b] = v
+	}
+	return x
+}

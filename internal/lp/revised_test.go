@@ -1,0 +1,194 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRevisedSimpleMaximization(t *testing.T) {
+	p := &Problem{
+		Obj:   []float64{3, 5},
+		A:     [][]float64{{1, 0}, {0, 2}, {3, 2}},
+		Sense: []Sense{LE, LE, LE},
+		B:     []float64{4, 12, 18},
+	}
+	s, err := SolveRevised(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || math.Abs(s.Objective-36) > 1e-8 {
+		t.Fatalf("got %v obj %v", s.Status, s.Objective)
+	}
+	checkFeasible(t, p, s.X)
+	checkDuality(t, p, s)
+}
+
+func TestRevisedStatuses(t *testing.T) {
+	infeasible := &Problem{
+		Obj: []float64{1}, A: [][]float64{{1}, {1}},
+		Sense: []Sense{GE, LE}, B: []float64{5, 2},
+	}
+	s, err := SolveRevised(infeasible)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v", s.Status)
+	}
+	unbounded := &Problem{
+		Obj: []float64{1, 0}, A: [][]float64{{0, 1}},
+		Sense: []Sense{LE}, B: []float64{1},
+	}
+	s, err = SolveRevised(unbounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v", s.Status)
+	}
+}
+
+func TestRevisedEqualityAndNegativeRHS(t *testing.T) {
+	p := &Problem{
+		Obj:   []float64{1, 2},
+		A:     [][]float64{{1, 1}, {-1, 0}},
+		Sense: []Sense{EQ, LE},
+		B:     []float64{3, -0.5}, // x >= 0.5
+	}
+	s, err := SolveRevised(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	// Maximize x+2y with x+y=3, x>=0.5 -> x=0.5, y=2.5, obj 5.5.
+	if math.Abs(s.Objective-5.5) > 1e-8 {
+		t.Fatalf("obj = %v (x=%v)", s.Objective, s.X)
+	}
+	checkDuality(t, p, s)
+}
+
+// Cross-check: on random LPs the dense and revised solvers must agree on
+// status and optimal objective, and both solutions must be feasible.
+func TestRevisedMatchesDenseOnRandomLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for iter := 0; iter < 400; iter++ {
+		n := 2 + rng.Intn(5)
+		rows := 1 + rng.Intn(6)
+		p := &Problem{Obj: make([]float64, n), Upper: make([]float64, n)}
+		for j := 0; j < n; j++ {
+			p.Obj[j] = rng.NormFloat64()
+			if rng.Float64() < 0.3 {
+				p.Upper[j] = math.Inf(1)
+			} else {
+				p.Upper[j] = 0.5 + 3*rng.Float64()
+			}
+		}
+		for i := 0; i < rows; i++ {
+			row := make([]float64, n)
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.7 {
+					row[j] = rng.NormFloat64()
+				}
+			}
+			p.A = append(p.A, row)
+			p.Sense = append(p.Sense, Sense(rng.Intn(3)))
+			p.B = append(p.B, rng.NormFloat64())
+		}
+		dense, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rev, err := SolveRevised(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dense.Status != rev.Status {
+			t.Fatalf("iter %d: status dense=%v revised=%v\nproblem %+v", iter, dense.Status, rev.Status, p)
+		}
+		if dense.Status != Optimal {
+			continue
+		}
+		checkFeasible(t, p, rev.X)
+		if math.Abs(dense.Objective-rev.Objective) > 1e-5*(1+math.Abs(dense.Objective)) {
+			t.Fatalf("iter %d: objective dense=%v revised=%v", iter, dense.Objective, rev.Objective)
+		}
+		checkDuality(t, p, rev)
+	}
+}
+
+// Larger sparse LPs: the class internal/relax produces.
+func TestRevisedModerateSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 5; iter++ {
+		n, m := 150, 100
+		p := &Problem{Obj: make([]float64, n), Upper: make([]float64, n)}
+		for j := 0; j < n; j++ {
+			p.Obj[j] = rng.Float64()
+			p.Upper[j] = 1
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.1 {
+					row[j] = rng.Float64()
+				}
+			}
+			p.A = append(p.A, row)
+			p.Sense = append(p.Sense, LE)
+			p.B = append(p.B, 0.5+rng.Float64())
+		}
+		dense, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rev, err := SolveRevised(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dense.Status != Optimal || rev.Status != Optimal {
+			t.Fatalf("iter %d: statuses %v/%v", iter, dense.Status, rev.Status)
+		}
+		if math.Abs(dense.Objective-rev.Objective) > 1e-5*(1+dense.Objective) {
+			t.Fatalf("iter %d: %v vs %v", iter, dense.Objective, rev.Objective)
+		}
+		checkFeasible(t, p, rev.X)
+	}
+}
+
+func BenchmarkRevisedVsDenseSparse(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n, m := 240, 160
+	p := &Problem{Obj: make([]float64, n), Upper: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		p.Obj[j] = rng.Float64()
+		p.Upper[j] = 1
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.05 {
+				row[j] = rng.Float64()
+			}
+		}
+		p.A = append(p.A, row)
+		p.Sense = append(p.Sense, LE)
+		p.B = append(p.B, 0.5+rng.Float64())
+	}
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Solve(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("revised", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SolveRevised(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,235 @@
+// Package milp implements a best-first branch-and-bound solver for mixed
+// integer linear programs whose integer variables are binary, layered on the
+// pure-Go simplex in internal/lp. It provides exact optima for small
+// instances of the paper's MILP (Eqs. 1–7), used both as a correctness oracle
+// for the heuristics and to reproduce the §3.2 claim that the rational
+// relaxation upper-bounds the mixed solution.
+package milp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"vmalloc/internal/lp"
+)
+
+// Problem is an LP plus a set of variables restricted to {0, 1}.
+type Problem struct {
+	LP lp.Problem
+	// Binary lists variable indices that must take value 0 or 1. Their Upper
+	// bound must be >= 1 (it is tightened to 1 internally).
+	Binary []int
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means the incumbent is proven optimal.
+	Optimal Status = iota
+	// Infeasible means no integral feasible point exists.
+	Infeasible
+	// NodeLimit means the search stopped early; the incumbent (if any) is
+	// the best known feasible solution.
+	NodeLimit
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case NodeLimit:
+		return "node-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	// Bound is the best proven upper bound on the optimum.
+	Bound float64
+	// Nodes is the number of branch-and-bound nodes solved.
+	Nodes int
+	// HasIncumbent reports whether X/Objective hold a feasible solution.
+	HasIncumbent bool
+}
+
+// Options tunes the search.
+type Options struct {
+	// MaxNodes caps the number of LP relaxations solved (0 = default 100000).
+	MaxNodes int
+	// IntTol is the integrality tolerance (0 = default 1e-6).
+	IntTol float64
+	// Gap is the relative optimality gap at which search stops early
+	// (0 = prove exact optimality).
+	Gap float64
+}
+
+type node struct {
+	fix0, fix1 []int
+	bound      float64
+}
+
+type nodeQueue []*node
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].bound > q[j].bound } // best bound first
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Solve runs best-first branch and bound. The relaxation at each node is the
+// LP with branched binaries fixed via bound changes (fix to 0) or appended
+// equality rows (fix to 1).
+func Solve(p *Problem, opts *Options) (*Solution, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 100000
+	}
+	intTol := opts.IntTol
+	if intTol <= 0 {
+		intTol = 1e-6
+	}
+	if err := p.LP.Validate(); err != nil {
+		return nil, err
+	}
+	isBin := make(map[int]bool, len(p.Binary))
+	for _, j := range p.Binary {
+		if j < 0 || j >= p.LP.NumVars() {
+			return nil, fmt.Errorf("milp: binary index %d out of range", j)
+		}
+		isBin[j] = true
+	}
+
+	sol := &Solution{Status: NodeLimit, Objective: math.Inf(-1), Bound: math.Inf(1)}
+	q := &nodeQueue{}
+	heap.Push(q, &node{bound: math.Inf(1)})
+
+	for q.Len() > 0 {
+		if sol.Nodes >= maxNodes {
+			if q.Len() > 0 {
+				sol.Bound = (*q)[0].bound
+			}
+			return sol, nil
+		}
+		nd := heap.Pop(q).(*node)
+		if nd.bound <= sol.Objective+1e-12 && sol.HasIncumbent {
+			continue // pruned by incumbent
+		}
+		if opts.Gap > 0 && sol.HasIncumbent &&
+			nd.bound <= sol.Objective*(1+opts.Gap)+1e-12 {
+			// Within the requested relative gap: accept the incumbent.
+			sol.Status = Optimal
+			sol.Bound = nd.bound
+			return sol, nil
+		}
+		rel, err := solveRelaxation(&p.LP, nd)
+		sol.Nodes++
+		if err != nil {
+			return nil, err
+		}
+		switch rel.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			return nil, errors.New("milp: relaxation unbounded; bound the binary problem")
+		case lp.IterLimit:
+			return nil, errors.New("milp: simplex iteration limit inside branch and bound")
+		}
+		if rel.Objective <= sol.Objective+1e-12 && sol.HasIncumbent {
+			continue
+		}
+		branch := pickBranchVar(rel.X, p.Binary, intTol)
+		if branch < 0 {
+			// Integral: new incumbent.
+			if rel.Objective > sol.Objective {
+				sol.Objective = rel.Objective
+				sol.X = append([]float64(nil), rel.X...)
+				sol.HasIncumbent = true
+			}
+			continue
+		}
+		lo := &node{fix0: append(append([]int(nil), nd.fix0...), branch), fix1: nd.fix1, bound: rel.Objective}
+		hi := &node{fix0: nd.fix0, fix1: append(append([]int(nil), nd.fix1...), branch), bound: rel.Objective}
+		heap.Push(q, lo)
+		heap.Push(q, hi)
+	}
+
+	if sol.HasIncumbent {
+		sol.Status = Optimal
+		sol.Bound = sol.Objective
+	} else {
+		sol.Status = Infeasible
+	}
+	return sol, nil
+}
+
+// solveRelaxation builds and solves the node LP.
+func solveRelaxation(base *lp.Problem, nd *node) (*lp.Solution, error) {
+	q := lp.Problem{
+		Obj:   base.Obj,
+		A:     base.A,
+		Sense: base.Sense,
+		B:     base.B,
+	}
+	// Copy bounds so fixings do not leak across nodes.
+	upper := make([]float64, base.NumVars())
+	if base.Upper != nil {
+		copy(upper, base.Upper)
+	} else {
+		for j := range upper {
+			upper[j] = math.Inf(1)
+		}
+	}
+	for _, j := range nd.fix0 {
+		upper[j] = 0
+	}
+	q.Upper = upper
+	if len(nd.fix1) > 0 {
+		// Append x_j == 1 rows.
+		q.A = append(append([][]float64(nil), base.A...), nil)
+		q.A = q.A[:len(base.A)]
+		q.Sense = append([]lp.Sense(nil), base.Sense...)
+		q.B = append([]float64(nil), base.B...)
+		for _, j := range nd.fix1 {
+			row := make([]float64, base.NumVars())
+			row[j] = 1
+			q.A = append(q.A, row)
+			q.Sense = append(q.Sense, lp.EQ)
+			q.B = append(q.B, 1)
+		}
+	}
+	return lp.Solve(&q)
+}
+
+// pickBranchVar returns the most fractional binary variable, or -1 if all
+// binaries are integral within tol.
+func pickBranchVar(x []float64, binary []int, tol float64) int {
+	best, bestDist := -1, tol
+	for _, j := range binary {
+		f := x[j] - math.Floor(x[j])
+		dist := math.Min(f, 1-f)
+		if dist > bestDist {
+			best, bestDist = j, dist
+		}
+	}
+	return best
+}

@@ -1,0 +1,240 @@
+// Package opt post-processes placements: Improve raises the minimum yield
+// of an existing placement by hill-climbing over single-service moves and
+// pairwise swaps, and Repair adapts an existing placement to a changed
+// workload under a migration budget — the operations a production resource
+// manager (§8) needs between full reallocations.
+//
+// Both operations only ever return placements that satisfy all rigid
+// requirements, and Improve is monotone: the returned minimum yield is never
+// below the input's.
+package opt
+
+import (
+	"vmalloc/internal/core"
+	"vmalloc/internal/vec"
+)
+
+// ImproveOptions tunes the local search.
+type ImproveOptions struct {
+	// MaxRounds caps full passes over the service list (<= 0 selects 10).
+	MaxRounds int
+	// MinGain is the minimum-yield improvement below which the search stops
+	// (<= 0 selects 1e-6).
+	MinGain float64
+}
+
+func (o *ImproveOptions) rounds() int {
+	if o == nil || o.MaxRounds <= 0 {
+		return 10
+	}
+	return o.MaxRounds
+}
+
+func (o *ImproveOptions) gain() float64 {
+	if o == nil || o.MinGain <= 0 {
+		return 1e-6
+	}
+	return o.MinGain
+}
+
+// Improve hill-climbs from a solved placement: each round it examines, for
+// every service on a bottleneck node, all single moves to other nodes and
+// all swaps with services on other nodes, applying the change that most
+// increases the minimum yield. It stops at a local optimum, after MaxRounds,
+// or when the improvement drops below MinGain. The input placement is not
+// modified.
+func Improve(p *core.Problem, pl core.Placement, opts *ImproveOptions) *core.Result {
+	cur := core.EvaluatePlacement(p, pl)
+	if !cur.Solved {
+		return cur
+	}
+	for round := 0; round < opts.rounds(); round++ {
+		next := bestNeighbor(p, cur)
+		if next == nil || next.MinYield <= cur.MinYield+opts.gain() {
+			break
+		}
+		cur = next
+	}
+	return cur
+}
+
+// bestNeighbor returns the best move/swap neighbor strictly improving the
+// minimum yield, or nil when none exists.
+func bestNeighbor(p *core.Problem, cur *core.Result) *core.Result {
+	// Bottleneck nodes: those whose uniform yield equals the minimum.
+	byNode := make([][]int, p.NumNodes())
+	for j, h := range cur.Placement {
+		byNode[h] = append(byNode[h], j)
+	}
+	bottleneck := map[int]bool{}
+	for h := range byNode {
+		if len(byNode[h]) == 0 {
+			continue
+		}
+		if core.MaxUniformYield(p, h, byNode[h]) <= cur.MinYield+1e-9 {
+			bottleneck[h] = true
+		}
+	}
+
+	var best *core.Result
+	try := func(pl core.Placement) {
+		res := core.EvaluatePlacement(p, pl)
+		if !res.Solved {
+			return
+		}
+		if res.MinYield > cur.MinYield+1e-12 && (best == nil || res.MinYield > best.MinYield) {
+			best = res
+		}
+	}
+
+	for j, hj := range cur.Placement {
+		if !bottleneck[hj] {
+			continue
+		}
+		// Moves.
+		for h := 0; h < p.NumNodes(); h++ {
+			if h == hj {
+				continue
+			}
+			pl := cur.Placement.Clone()
+			pl[j] = h
+			try(pl)
+		}
+		// Swaps with services on other nodes.
+		for k, hk := range cur.Placement {
+			if k == j || hk == hj {
+				continue
+			}
+			pl := cur.Placement.Clone()
+			pl[j], pl[k] = hk, hj
+			try(pl)
+		}
+	}
+	return best
+}
+
+// RepairOptions tunes Repair.
+type RepairOptions struct {
+	// Budget caps the number of already-placed services that may change
+	// node (new services do not count). Negative means unlimited.
+	Budget int
+	// Improve additionally runs the local search after repair, still within
+	// the remaining migration budget... the search counts each move/swap of
+	// an old service against the budget.
+	Improve bool
+}
+
+// Repair places the services of p starting from a previous placement prev:
+// entries with a valid node are kept if their requirements still fit;
+// services that are new (prev entry Unplaced or out of range) or no longer
+// fit are (re)placed by best-fit on remaining requirement capacity. At most
+// opts.Budget previously-placed services are moved. It returns an unsolved
+// result if the workload cannot be accommodated within the budget.
+func Repair(p *core.Problem, prev core.Placement, opts *RepairOptions) *core.Result {
+	if opts == nil {
+		opts = &RepairOptions{Budget: -1}
+	}
+	budget := opts.Budget
+	J, H := p.NumServices(), p.NumNodes()
+	pl := core.NewPlacement(J)
+	loads := make([]vec.Vec, H)
+	for h := range loads {
+		loads[h] = vec.New(p.Dim())
+	}
+
+	// Pass 1: keep still-feasible old assignments.
+	type pending struct {
+		j   int
+		old bool // previously placed (a move costs budget)
+	}
+	var todo []pending
+	for j := 0; j < J; j++ {
+		h := core.Unplaced
+		if j < len(prev) {
+			h = prev[j]
+		}
+		if h >= 0 && h < H {
+			s := &p.Services[j]
+			if s.FitsRequirements(&p.Nodes[h], loads[h]) {
+				pl[j] = h
+				loads[h].AccumAdd(s.ReqAgg)
+				continue
+			}
+			todo = append(todo, pending{j, true})
+			continue
+		}
+		todo = append(todo, pending{j, false})
+	}
+
+	// Pass 2: place the rest by best fit (least remaining requirement
+	// capacity), charging moves of old services against the budget.
+	for _, t := range todo {
+		if t.old && budget == 0 {
+			return &core.Result{Placement: pl}
+		}
+		s := &p.Services[t.j]
+		best, bestScore := -1, 0.0
+		for h := 0; h < H; h++ {
+			if !s.FitsRequirements(&p.Nodes[h], loads[h]) {
+				continue
+			}
+			rem := p.Nodes[h].Aggregate.Sub(loads[h]).Sum()
+			if best == -1 || rem < bestScore {
+				best, bestScore = h, rem
+			}
+		}
+		if best == -1 {
+			return &core.Result{Placement: pl}
+		}
+		pl[t.j] = best
+		loads[best].AccumAdd(s.ReqAgg)
+		if t.old && budget > 0 {
+			budget--
+		}
+	}
+
+	res := core.EvaluatePlacement(p, pl)
+	if !res.Solved || !opts.Improve {
+		return res
+	}
+	// Budget-aware improvement: accept neighbors only while budget allows.
+	cur := res
+	for budget != 0 {
+		next := bestNeighbor(p, cur)
+		if next == nil || next.MinYield <= cur.MinYield+1e-6 {
+			break
+		}
+		moved := countMoves(cur.Placement, next.Placement)
+		if budget > 0 {
+			if moved > budget {
+				break
+			}
+			budget -= moved
+		}
+		cur = next
+	}
+	return cur
+}
+
+// countMoves returns how many services differ between two placements.
+func countMoves(a, b core.Placement) int {
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Migrations returns how many services moved from prev to next, ignoring
+// services that were unplaced in prev (new arrivals are free).
+func Migrations(prev, next core.Placement) int {
+	n := 0
+	for i := range next {
+		if i < len(prev) && prev[i] >= 0 && prev[i] != next[i] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,470 @@
+// Package platform is a discrete-event simulator of a virtualized service
+// hosting platform driven by the paper's allocation algorithms — the §8
+// "future work" system: METAHVPLIGHT (or any placer) runs as the resource
+// management component of a hosting infrastructure, services arrive and
+// depart over time, CPU-need estimates are noisy, and the error-mitigation
+// threshold can adapt to the observed estimation error.
+//
+// The simulator maintains the true and estimated problem views, admits
+// arrivals with a best-fit admission test, reallocates every epoch with the
+// configured placer (counting migrations), and samples achieved yields under
+// the work-conserving ALLOCWEIGHTS policy between epochs.
+package platform
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vmalloc/internal/core"
+	"vmalloc/internal/hvp"
+	"vmalloc/internal/opt"
+	"vmalloc/internal/sched"
+	"vmalloc/internal/vec"
+	"vmalloc/internal/workload"
+)
+
+// Placer computes a placement from the (estimated) problem view.
+type Placer func(p *core.Problem) *core.Result
+
+// DefaultPlacer is METAHVPLIGHT at the paper's tolerance.
+func DefaultPlacer(p *core.Problem) *core.Result { return hvp.MetaHVPLight(p, 0) }
+
+// AdaptiveThreshold requests the feedback controller of §8: the mitigation
+// threshold follows the maximum estimation error observed on departed
+// services (scaled by SafetyFactor).
+const AdaptiveThreshold = -1
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Nodes is the fixed physical platform.
+	Nodes []core.Node
+	// ArrivalRate is the mean number of service arrivals per unit time
+	// (Poisson process).
+	ArrivalRate float64
+	// MeanLifetime is the mean service lifetime (exponential).
+	MeanLifetime float64
+	// Horizon is the simulated duration.
+	Horizon float64
+	// Epoch is the reallocation period; the placer runs at every multiple.
+	Epoch float64
+	// MaxErr bounds the uniform CPU-need estimation error of arriving
+	// services (0 = perfect estimates).
+	MaxErr float64
+	// Threshold is the §6.2 mitigation threshold applied to estimates
+	// before placement; AdaptiveThreshold enables the feedback controller.
+	Threshold float64
+	// SafetyFactor scales the adaptive threshold (default 1.0).
+	SafetyFactor float64
+	// Placer computes placements (DefaultPlacer when nil).
+	Placer Placer
+	// UseRepair switches epochs from full reallocation to migration-bounded
+	// incremental repair (internal/opt): still-feasible services stay put,
+	// and at most MigrationBudget services move per epoch.
+	UseRepair bool
+	// MigrationBudget caps migrations per repair epoch (negative =
+	// unlimited). Ignored unless UseRepair is set.
+	MigrationBudget int
+	// Seed drives all randomness.
+	Seed int64
+	// Google overrides the service-size marginals (DefaultGoogle when nil).
+	Google *workload.Google
+	// MeanCPUNeed sets the average aggregate CPU need of arrivals; when 0 a
+	// value is derived so that steady-state CPU demand is ~70% of capacity.
+	MeanCPUNeed float64
+}
+
+// Sample is one epoch observation.
+type Sample struct {
+	Time       float64
+	Services   int
+	MinYield   float64
+	MeanYield  float64
+	Migrations int
+	Threshold  float64
+	Solved     bool
+}
+
+// Stats aggregates a run.
+type Stats struct {
+	Samples     []Sample
+	Arrivals    int
+	Rejections  int
+	Departures  int
+	Migrations  int
+	Reallocs    int
+	FailedEpoch int // epochs where the placer could not place everything
+}
+
+// MeanMinYield averages the sampled minimum yield over epochs with at least
+// one hosted service.
+func (st *Stats) MeanMinYield() float64 {
+	sum, n := 0.0, 0
+	for _, s := range st.Samples {
+		if s.Services > 0 && s.Solved {
+			sum += s.MinYield
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RejectionRate is rejected arrivals over total arrivals.
+func (st *Stats) RejectionRate() float64 {
+	if st.Arrivals == 0 {
+		return 0
+	}
+	return float64(st.Rejections) / float64(st.Arrivals)
+}
+
+// event kinds.
+const (
+	evArrival = iota
+	evDeparture
+	evEpoch
+)
+
+type event struct {
+	t    float64
+	kind int
+	id   int // service id for departures
+	seq  int // tie-breaker for deterministic ordering
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// liveService is one hosted service with its true and estimated views.
+type liveService struct {
+	id       int
+	trueSvc  core.Service
+	estSvc   core.Service
+	node     int
+	arrived  float64
+	departAt float64
+}
+
+// sim is the mutable simulation state.
+type sim struct {
+	cfg    Config
+	rng    *rand.Rand
+	now    float64
+	queue  eventQueue
+	seq    int
+	live   map[int]*liveService
+	order  []int // live service ids in arrival order (stable problem views)
+	nextID int
+	stats  Stats
+	// observed estimation errors of departed services, for adaptation
+	errWindow []float64
+	threshold float64
+}
+
+// Run executes the simulation and returns its statistics.
+func Run(cfg Config) (*Stats, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("platform: no nodes")
+	}
+	if cfg.ArrivalRate <= 0 || cfg.MeanLifetime <= 0 || cfg.Horizon <= 0 || cfg.Epoch <= 0 {
+		return nil, fmt.Errorf("platform: rates, horizon and epoch must be positive")
+	}
+	if cfg.Placer == nil {
+		cfg.Placer = DefaultPlacer
+	}
+	if cfg.Google == nil {
+		cfg.Google = workload.DefaultGoogle()
+	}
+	if cfg.SafetyFactor <= 0 {
+		cfg.SafetyFactor = 1.0
+	}
+	if cfg.MeanCPUNeed <= 0 {
+		totalCPU := 0.0
+		for _, n := range cfg.Nodes {
+			totalCPU += n.Aggregate[workload.CPU]
+		}
+		steady := cfg.ArrivalRate * cfg.MeanLifetime // mean live services
+		cfg.MeanCPUNeed = 0.7 * totalCPU / math.Max(steady, 1)
+	}
+
+	s := &sim{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		live: map[int]*liveService{},
+	}
+	if cfg.Threshold == AdaptiveThreshold {
+		s.threshold = 0
+	} else {
+		s.threshold = cfg.Threshold
+	}
+
+	s.push(event{t: s.expo(1 / cfg.ArrivalRate), kind: evArrival})
+	s.push(event{t: cfg.Epoch, kind: evEpoch})
+
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(event)
+		if ev.t > cfg.Horizon {
+			break
+		}
+		s.now = ev.t
+		switch ev.kind {
+		case evArrival:
+			s.arrive()
+			s.push(event{t: s.now + s.expo(1/cfg.ArrivalRate), kind: evArrival})
+		case evDeparture:
+			s.depart(ev.id)
+		case evEpoch:
+			s.reallocate()
+			s.push(event{t: s.now + cfg.Epoch, kind: evEpoch})
+		}
+	}
+	return &s.stats, nil
+}
+
+func (s *sim) push(ev event) {
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, ev)
+}
+
+// expo draws an exponential variate with the given mean.
+func (s *sim) expo(mean float64) float64 {
+	return s.rng.ExpFloat64() * mean
+}
+
+// newService draws a service from the Google marginals with CPU needs scaled
+// to the configured mean and a perturbed estimate.
+func (s *sim) newService() *liveService {
+	g := s.cfg.Google
+	cores := g.CoreChoices[0]
+	{ // inline categorical draw (mirrors workload.sampleCores)
+		total := 0.0
+		for _, w := range g.CoreWeights {
+			total += w
+		}
+		r := s.rng.Float64() * total
+		for i, w := range g.CoreWeights {
+			r -= w
+			if r < 0 {
+				cores = g.CoreChoices[i]
+				break
+			}
+		}
+	}
+	mem := math.Exp(s.rng.NormFloat64()*g.MemLogSigma+g.MemLogMean) * 0.5
+	if mem < g.MemMin {
+		mem = g.MemMin
+	}
+	// Scale CPU need: core count relative to the mean core count maps the
+	// configured mean need onto this service.
+	meanCores := 0.0
+	{
+		tw := 0.0
+		for i, w := range g.CoreWeights {
+			meanCores += w * float64(g.CoreChoices[i])
+			tw += w
+		}
+		meanCores /= tw
+	}
+	needCPU := s.cfg.MeanCPUNeed * float64(cores) / meanCores
+	trueSvc := core.Service{
+		Name:     fmt.Sprintf("svc-%d", s.nextID),
+		ReqElem:  vec.Of(g.ElemCPURequirement, mem),
+		ReqAgg:   vec.Of(g.ElemCPURequirement, mem),
+		NeedElem: vec.Of(needCPU/float64(cores), 0),
+		NeedAgg:  vec.Of(needCPU, 0),
+	}
+	estSvc := trueSvc
+	estSvc.ReqElem = trueSvc.ReqElem.Clone()
+	estSvc.ReqAgg = trueSvc.ReqAgg.Clone()
+	estSvc.NeedElem = trueSvc.NeedElem.Clone()
+	estSvc.NeedAgg = trueSvc.NeedAgg.Clone()
+	if s.cfg.MaxErr > 0 {
+		e := (s.rng.Float64()*2 - 1) * s.cfg.MaxErr
+		est := math.Max(0.001, needCPU+e)
+		estSvc.NeedAgg[workload.CPU] = est
+		estSvc.NeedElem[workload.CPU] = est / float64(cores)
+	}
+	ls := &liveService{
+		id:       s.nextID,
+		trueSvc:  trueSvc,
+		estSvc:   estSvc,
+		node:     core.Unplaced,
+		arrived:  s.now,
+		departAt: s.now + s.expo(s.cfg.MeanLifetime),
+	}
+	s.nextID++
+	return ls
+}
+
+// problemViews builds the true and estimated problems over live services in
+// arrival order, applying the current mitigation threshold to estimates.
+// The returned index slice maps problem service positions to live ids.
+func (s *sim) problemViews() (trueP, estP *core.Problem, ids []int) {
+	trueP = &core.Problem{Nodes: s.cfg.Nodes}
+	estP = &core.Problem{Nodes: s.cfg.Nodes}
+	for _, id := range s.order {
+		ls := s.live[id]
+		trueP.Services = append(trueP.Services, ls.trueSvc)
+		estP.Services = append(estP.Services, ls.estSvc)
+		ids = append(ids, id)
+	}
+	if s.threshold > 0 {
+		estP = sched.ApplyThreshold(estP, workload.CPU, s.threshold)
+	}
+	return trueP, estP, ids
+}
+
+// currentPlacement extracts the placement of the live services (ids order).
+func (s *sim) currentPlacement(ids []int) core.Placement {
+	pl := core.NewPlacement(len(ids))
+	for i, id := range ids {
+		pl[i] = s.live[id].node
+	}
+	return pl
+}
+
+// arrive admits a new service with a best-fit test on its (thresholded)
+// estimate against current requirement loads; rejection counts but does not
+// stop the simulation.
+func (s *sim) arrive() {
+	s.stats.Arrivals++
+	ls := s.newService()
+	// Requirement loads by node.
+	loads := make([]vec.Vec, len(s.cfg.Nodes))
+	for h := range loads {
+		loads[h] = vec.New(workload.Dims)
+	}
+	for _, id := range s.order {
+		l := s.live[id]
+		if l.node >= 0 {
+			loads[l.node].AccumAdd(l.trueSvc.ReqAgg)
+		}
+	}
+	// Best fit: feasible node with least remaining capacity (sum).
+	best, bestScore := -1, math.Inf(1)
+	for h := range s.cfg.Nodes {
+		if !ls.trueSvc.FitsRequirements(&s.cfg.Nodes[h], loads[h]) {
+			continue
+		}
+		rem := s.cfg.Nodes[h].Aggregate.Sub(loads[h]).Sum()
+		if rem < bestScore {
+			best, bestScore = h, rem
+		}
+	}
+	if best < 0 {
+		s.stats.Rejections++
+		return
+	}
+	ls.node = best
+	s.live[ls.id] = ls
+	s.order = append(s.order, ls.id)
+	s.push(event{t: ls.departAt, kind: evDeparture, id: ls.id})
+}
+
+// depart removes a service and records its estimation error for adaptation.
+func (s *sim) depart(id int) {
+	ls, ok := s.live[id]
+	if !ok {
+		return // was rejected or already gone
+	}
+	s.stats.Departures++
+	errAbs := math.Abs(ls.estSvc.NeedAgg[workload.CPU] - ls.trueSvc.NeedAgg[workload.CPU])
+	s.errWindow = append(s.errWindow, errAbs)
+	if len(s.errWindow) > 64 {
+		s.errWindow = s.errWindow[len(s.errWindow)-64:]
+	}
+	delete(s.live, id)
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// adaptThreshold updates the mitigation threshold from the observed error
+// window (paper §8: "determining and adapting the threshold").
+func (s *sim) adaptThreshold() {
+	if s.cfg.Threshold != AdaptiveThreshold || len(s.errWindow) == 0 {
+		return
+	}
+	maxErr := 0.0
+	for _, e := range s.errWindow {
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	s.threshold = s.cfg.SafetyFactor * maxErr
+}
+
+// reallocate runs the placer on the estimated view, applies the new
+// placement (counting migrations) and samples achieved yields.
+func (s *sim) reallocate() {
+	s.adaptThreshold()
+	trueP, estP, ids := s.problemViews()
+	sample := Sample{Time: s.now, Services: len(ids), Threshold: s.threshold}
+	if len(ids) == 0 {
+		sample.Solved = true
+		s.stats.Samples = append(s.stats.Samples, sample)
+		return
+	}
+	s.stats.Reallocs++
+	var res *core.Result
+	if s.cfg.UseRepair {
+		res = opt.Repair(estP, s.currentPlacement(ids), &opt.RepairOptions{
+			Budget:  s.cfg.MigrationBudget,
+			Improve: true,
+		})
+	} else {
+		res = s.cfg.Placer(estP)
+	}
+	if !res.Solved {
+		// Keep the previous placement; evaluate it as-is.
+		s.stats.FailedEpoch++
+		pl := s.currentPlacement(ids)
+		sample.MinYield = sched.EvaluatePlacement(trueP, estP, pl, sched.AllocWeights, workload.CPU)
+		s.stats.Samples = append(s.stats.Samples, sample)
+		return
+	}
+	for i, id := range ids {
+		ls := s.live[id]
+		if ls.node != res.Placement[i] {
+			if ls.node >= 0 {
+				sample.Migrations++
+			}
+			ls.node = res.Placement[i]
+		}
+	}
+	s.stats.Migrations += sample.Migrations
+	sample.Solved = true
+	sample.MinYield = sched.EvaluatePlacement(trueP, estP, res.Placement, sched.AllocWeights, workload.CPU)
+	// Mean yield under max-uniform-yield evaluation of the true problem.
+	if ev := core.EvaluatePlacement(trueP, res.Placement); ev.Solved {
+		sum := 0.0
+		for _, y := range ev.Yields {
+			sum += y
+		}
+		sample.MeanYield = sum / float64(len(ev.Yields))
+	}
+	s.stats.Samples = append(s.stats.Samples, sample)
+}

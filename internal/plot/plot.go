@@ -1,0 +1,95 @@
+// Package plot renders simple ASCII line/scatter charts for the experiment
+// figure series, so cmd/experiments can show the shape of Figures 2–7
+// directly in a terminal without external tooling.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers cycles across series.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws the series into a width×height character grid with y-axis
+// labels and a legend. Width and height are clamped to sane minimums.
+func Render(series []Series, width, height int, xlabel, ylabel string) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			points++
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mk := markers[si%len(markers)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			c := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			r := height - 1 - int(math.Round((s.Y[i]-minY)/(maxY-minY)*float64(height-1)))
+			grid[r][c] = mk
+		}
+	}
+
+	var sb strings.Builder
+	if ylabel != "" {
+		fmt.Fprintf(&sb, "%s\n", ylabel)
+	}
+	for r, row := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&sb, "%9.4f |%s|\n", yVal, string(row))
+	}
+	fmt.Fprintf(&sb, "%9s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%9s  %-*.4g%*.4g\n", "", width/2, minX, width-width/2, maxX)
+	if xlabel != "" {
+		fmt.Fprintf(&sb, "%9s  %s\n", "", centered(xlabel, width))
+	}
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return sb.String()
+}
+
+func centered(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	pad := (width - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}

@@ -1,0 +1,57 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	out := Render([]Series{
+		{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+	}, 30, 10, "x", "y")
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "x") {
+		t.Fatalf("x label missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(nil, 30, 10, "", ""); out != "(no data)\n" {
+		t.Fatalf("got %q", out)
+	}
+	if out := Render([]Series{{Name: "nan", X: []float64{math.NaN()}, Y: []float64{math.NaN()}}}, 30, 10, "", ""); out != "(no data)\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	out := Render([]Series{{Name: "flat", X: []float64{0, 1}, Y: []float64{0.5, 0.5}}}, 25, 6, "", "")
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestRenderClampsTinyDimensions(t *testing.T) {
+	out := Render([]Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}}, 1, 1, "", "")
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("clamped render too small:\n%s", out)
+	}
+}
+
+func TestMarkerPlacementCorners(t *testing.T) {
+	out := Render([]Series{{Name: "s", X: []float64{0, 10}, Y: []float64{0, 1}}}, 20, 5, "", "")
+	rows := strings.Split(out, "\n")
+	// First grid row (max y) must contain the marker at the right edge.
+	first := rows[0]
+	if !strings.HasSuffix(strings.TrimRight(first, " "), "*|") {
+		t.Fatalf("top-right marker missing: %q", first)
+	}
+}

@@ -1,0 +1,307 @@
+// Package relax encodes the service placement and resource allocation
+// problem as the paper's MILP (Eqs. 1–7), solves its rational relaxation
+// with the internal simplex, solves small instances exactly by branch and
+// bound, and implements the randomized-rounding heuristics RRND and RRNZ
+// (§3.3) driven by the relaxed solution.
+package relax
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vmalloc/internal/core"
+	"vmalloc/internal/lp"
+	"vmalloc/internal/milp"
+	"vmalloc/internal/vec"
+)
+
+// Epsilon is the probability floor used by RRNZ (paper uses 0.01).
+const Epsilon = 0.01
+
+// Encoding maps problem entities to LP variable indices:
+// e_jh at j*H+h, y_jh at J*H + j*H+h, and the minimum yield Y last.
+type Encoding struct {
+	J, H, D int
+	LP      *lp.Problem
+}
+
+// EVar returns the variable index of e_jh.
+func (enc *Encoding) EVar(j, h int) int { return j*enc.H + h }
+
+// YVar returns the variable index of y_jh.
+func (enc *Encoding) YVar(j, h int) int { return enc.J*enc.H + j*enc.H + h }
+
+// MinYieldVar returns the variable index of Y.
+func (enc *Encoding) MinYieldVar() int { return 2 * enc.J * enc.H }
+
+// Encode builds the LP for problem p. Elementary rows that can never bind
+// (requirement plus need within elementary capacity) are omitted; elementary
+// requirements that exceed a node's elementary capacity force e_jh = 0 via a
+// bound row.
+func Encode(p *core.Problem) *Encoding {
+	J, H, D := p.NumServices(), p.NumNodes(), p.Dim()
+	n := 2*J*H + 1
+	enc := &Encoding{J: J, H: H, D: D}
+	prob := &lp.Problem{
+		Obj:   make([]float64, n),
+		Upper: make([]float64, n),
+	}
+	for i := range prob.Upper {
+		prob.Upper[i] = 1
+	}
+	prob.Obj[2*J*H] = 1 // maximize Y
+
+	addRow := func(row []float64, s lp.Sense, b float64) {
+		prob.A = append(prob.A, row)
+		prob.Sense = append(prob.Sense, s)
+		prob.B = append(prob.B, b)
+	}
+
+	// (3) each service on exactly one node.
+	for j := 0; j < J; j++ {
+		row := make([]float64, n)
+		for h := 0; h < H; h++ {
+			row[enc.EVar(j, h)] = 1
+		}
+		addRow(row, lp.EQ, 1)
+	}
+	// (4) y_jh <= e_jh.
+	for j := 0; j < J; j++ {
+		for h := 0; h < H; h++ {
+			row := make([]float64, n)
+			row[enc.YVar(j, h)] = 1
+			row[enc.EVar(j, h)] = -1
+			addRow(row, lp.LE, 0)
+		}
+	}
+	// (5) elementary capacities: e_jh*r^e_jd + y_jh*n^e_jd <= c^e_hd.
+	for j := 0; j < J; j++ {
+		s := &p.Services[j]
+		for h := 0; h < H; h++ {
+			nd := &p.Nodes[h]
+			for d := 0; d < D; d++ {
+				re, ne, ce := s.ReqElem[d], s.NeedElem[d], nd.Elementary[d]
+				if re+ne <= ce {
+					continue // can never bind with e,y in [0,1]
+				}
+				row := make([]float64, n)
+				row[enc.EVar(j, h)] = re
+				row[enc.YVar(j, h)] = ne
+				addRow(row, lp.LE, ce)
+			}
+		}
+	}
+	// (6) aggregate capacities per node and dimension.
+	for h := 0; h < H; h++ {
+		nd := &p.Nodes[h]
+		for d := 0; d < D; d++ {
+			row := make([]float64, n)
+			for j := 0; j < J; j++ {
+				row[enc.EVar(j, h)] = p.Services[j].ReqAgg[d]
+				row[enc.YVar(j, h)] = p.Services[j].NeedAgg[d]
+			}
+			addRow(row, lp.LE, nd.Aggregate[d])
+		}
+	}
+	// (7) sum_h y_jh >= Y.
+	for j := 0; j < J; j++ {
+		row := make([]float64, n)
+		for h := 0; h < H; h++ {
+			row[enc.YVar(j, h)] = 1
+		}
+		row[enc.MinYieldVar()] = -1
+		addRow(row, lp.GE, 0)
+	}
+	enc.LP = prob
+	return enc
+}
+
+// Relaxed is the solution of the rational relaxation.
+type Relaxed struct {
+	// Feasible reports whether the relaxation has a solution at all.
+	Feasible bool
+	// MinYield is the relaxation's optimal Y: an upper bound on any
+	// integral solution's minimum yield (paper §3.2).
+	MinYield float64
+	// E[j][h] is the fractional placement of service j on node h.
+	E [][]float64
+}
+
+// denseTableauLimit is the tableau entry count above which SolveRelaxed
+// switches from the dense simplex to the revised (sparse-column) simplex,
+// whose memory footprint is O(m² + nnz) instead of O(m·(n+m)).
+const denseTableauLimit = 4 << 20
+
+// SolveRelaxed solves the rational relaxation of the MILP for p.
+func SolveRelaxed(p *core.Problem) (*Relaxed, error) {
+	enc := Encode(p)
+	m, n := enc.LP.NumRows(), enc.LP.NumVars()
+	solver := lp.Solve
+	if m*(n+m) > denseTableauLimit {
+		solver = lp.SolveRevised
+	}
+	sol, err := solver(enc.LP)
+	if err != nil {
+		return nil, err
+	}
+	switch sol.Status {
+	case lp.Infeasible:
+		return &Relaxed{}, nil
+	case lp.Optimal:
+	default:
+		return nil, fmt.Errorf("relax: simplex returned %v", sol.Status)
+	}
+	r := &Relaxed{Feasible: true, MinYield: sol.X[enc.MinYieldVar()]}
+	r.E = make([][]float64, enc.J)
+	for j := 0; j < enc.J; j++ {
+		r.E[j] = make([]float64, enc.H)
+		for h := 0; h < enc.H; h++ {
+			v := sol.X[enc.EVar(j, h)]
+			if v < 0 {
+				v = 0
+			}
+			r.E[j][h] = v
+		}
+	}
+	return r, nil
+}
+
+// SolveExact solves the MILP exactly by branch and bound. Intended for small
+// instances (the paper notes MILP solve time is exponential). The returned
+// result carries the optimal placement and its evaluated minimum yield.
+func SolveExact(p *core.Problem, opts *milp.Options) (*core.Result, error) {
+	enc := Encode(p)
+	bins := make([]int, 0, enc.J*enc.H)
+	for j := 0; j < enc.J; j++ {
+		for h := 0; h < enc.H; h++ {
+			bins = append(bins, enc.EVar(j, h))
+		}
+	}
+	sol, err := milp.Solve(&milp.Problem{LP: *enc.LP, Binary: bins}, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !sol.HasIncumbent {
+		return &core.Result{}, nil
+	}
+	pl := core.NewPlacement(enc.J)
+	for j := 0; j < enc.J; j++ {
+		for h := 0; h < enc.H; h++ {
+			if sol.X[enc.EVar(j, h)] > 0.5 {
+				pl[j] = h
+				break
+			}
+		}
+	}
+	return core.EvaluatePlacement(p, pl), nil
+}
+
+// roundPlacement samples a placement from fractional probabilities. For each
+// service, nodes are drawn with probability proportional to probs[j][h];
+// nodes where the service's rigid requirements do not fit (given services
+// placed so far) get their probability zeroed and the draw repeats, as in
+// paper §3.3.1. It returns an incomplete placement if some service fits
+// nowhere with positive probability.
+func roundPlacement(p *core.Problem, probs [][]float64, rng *rand.Rand) core.Placement {
+	J, H := p.NumServices(), p.NumNodes()
+	pl := core.NewPlacement(J)
+	loads := make([]vec.Vec, H)
+	for h := range loads {
+		loads[h] = vec.New(p.Dim())
+	}
+	for j := 0; j < J; j++ {
+		s := &p.Services[j]
+		w := append([]float64(nil), probs[j]...)
+		for {
+			total := 0.0
+			for _, x := range w {
+				total += x
+			}
+			if total <= 1e-15 {
+				return pl // service j cannot be placed
+			}
+			r := rng.Float64() * total
+			h := 0
+			for ; h < H-1; h++ {
+				r -= w[h]
+				if r < 0 {
+					break
+				}
+			}
+			if s.FitsRequirements(&p.Nodes[h], loads[h]) {
+				pl[j] = h
+				loads[h].AccumAdd(s.ReqAgg)
+				break
+			}
+			w[h] = 0
+		}
+	}
+	return pl
+}
+
+// RRND is Randomized Rounding: it samples placements from the relaxed e_jh
+// values and returns the evaluated result of the first complete sample found
+// within attempts tries, or a failed result.
+func RRND(p *core.Problem, rel *Relaxed, attempts int, rng *rand.Rand) *core.Result {
+	if !rel.Feasible {
+		return &core.Result{}
+	}
+	if attempts <= 0 {
+		attempts = 1
+	}
+	for a := 0; a < attempts; a++ {
+		pl := roundPlacement(p, rel.E, rng)
+		if pl.Complete() {
+			if res := core.EvaluatePlacement(p, pl); res.Solved {
+				return res
+			}
+		}
+	}
+	return &core.Result{}
+}
+
+// RRNZ is Randomized Rounding with No Zero probabilities: every zero e_jh is
+// raised to Epsilon before sampling, so services retain a small chance of
+// landing on any node that can host them (§3.3.2).
+func RRNZ(p *core.Problem, rel *Relaxed, attempts int, rng *rand.Rand) *core.Result {
+	if !rel.Feasible {
+		return &core.Result{}
+	}
+	probs := make([][]float64, len(rel.E))
+	for j := range rel.E {
+		probs[j] = make([]float64, len(rel.E[j]))
+		for h, v := range rel.E[j] {
+			if v < Epsilon {
+				v = Epsilon
+			}
+			probs[j][h] = v
+		}
+	}
+	if attempts <= 0 {
+		attempts = 1
+	}
+	for a := 0; a < attempts; a++ {
+		pl := roundPlacement(p, probs, rng)
+		if pl.Complete() {
+			if res := core.EvaluatePlacement(p, pl); res.Solved {
+				return res
+			}
+		}
+	}
+	return &core.Result{}
+}
+
+// UpperBound returns the relaxation's optimal minimum yield, which bounds
+// every feasible integral solution from above, or -1 if the relaxation is
+// infeasible.
+func UpperBound(p *core.Problem) (float64, error) {
+	rel, err := SolveRelaxed(p)
+	if err != nil {
+		return 0, err
+	}
+	if !rel.Feasible {
+		return -1, nil
+	}
+	return math.Min(rel.MinYield, 1), nil
+}

@@ -1,0 +1,269 @@
+package relax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vmalloc/internal/core"
+	"vmalloc/internal/lp"
+	"vmalloc/internal/milp"
+	"vmalloc/internal/vec"
+)
+
+// fig1 is the paper's Figure 1 instance (see internal/core tests).
+func fig1() *core.Problem {
+	return &core.Problem{
+		Nodes: []core.Node{
+			{Elementary: vec.Of(0.8, 1.0), Aggregate: vec.Of(3.2, 1.0)},
+			{Elementary: vec.Of(1.0, 0.5), Aggregate: vec.Of(2.0, 0.5)},
+		},
+		Services: []core.Service{{
+			ReqElem: vec.Of(0.5, 0.5), ReqAgg: vec.Of(1.0, 0.5),
+			NeedElem: vec.Of(0.5, 0.0), NeedAgg: vec.Of(1.0, 0.0),
+		}},
+	}
+}
+
+// twoServices builds a 2-node, 2-service instance where the optimum is to
+// put one service on each node.
+func twoServices() *core.Problem {
+	svc := core.Service{
+		ReqElem: vec.Of(0.2, 0.4), ReqAgg: vec.Of(0.4, 0.4),
+		NeedElem: vec.Of(0.3, 0.0), NeedAgg: vec.Of(0.6, 0.0),
+	}
+	return &core.Problem{
+		Nodes: []core.Node{
+			{Elementary: vec.Of(0.5, 1.0), Aggregate: vec.Of(1.0, 1.0)},
+			{Elementary: vec.Of(0.5, 1.0), Aggregate: vec.Of(1.0, 1.0)},
+		},
+		Services: []core.Service{svc, svc},
+	}
+}
+
+func TestEncodeShapes(t *testing.T) {
+	p := fig1()
+	enc := Encode(p)
+	if enc.J != 1 || enc.H != 2 || enc.D != 2 {
+		t.Fatalf("J,H,D = %d,%d,%d", enc.J, enc.H, enc.D)
+	}
+	if got, want := enc.LP.NumVars(), 2*1*2+1; got != want {
+		t.Fatalf("vars = %d, want %d", got, want)
+	}
+	if enc.EVar(0, 1) != 1 || enc.YVar(0, 0) != 2 || enc.MinYieldVar() != 4 {
+		t.Fatal("variable indexing broken")
+	}
+}
+
+func TestRelaxedFig1(t *testing.T) {
+	rel, err := SolveRelaxed(fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Feasible {
+		t.Fatal("fig1 relaxation should be feasible")
+	}
+	// The integral optimum is 1.0 (place on node B); the relaxation can only
+	// be >= that, and is capped at 1.
+	if rel.MinYield < 1.0-1e-6 {
+		t.Fatalf("relaxed min yield = %v, want >= 1", rel.MinYield)
+	}
+	// Fractional placement must sum to 1 per service.
+	sum := rel.E[0][0] + rel.E[0][1]
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("e values sum to %v", sum)
+	}
+}
+
+func TestExactMatchesBestPlacementFig1(t *testing.T) {
+	p := fig1()
+	res, err := SolveExact(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatal("exact solver failed on feasible instance")
+	}
+	if math.Abs(res.MinYield-1.0) > 1e-6 {
+		t.Fatalf("exact min yield = %v, want 1.0", res.MinYield)
+	}
+	if res.Placement[0] != 1 {
+		t.Fatalf("exact placement = %v, want node 1", res.Placement)
+	}
+}
+
+func TestExactTwoServices(t *testing.T) {
+	p := twoServices()
+	res, err := SolveExact(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatal("should be solvable")
+	}
+	// One per node: each node then has CPU slack 1.0-0.4 = 0.6 against need
+	// 0.6 -> yield 1. Elementary: 0.2+y*0.3 <= 0.5 -> y <= 1.
+	if math.Abs(res.MinYield-1.0) > 1e-6 {
+		t.Fatalf("min yield = %v, want 1.0 (placement %v)", res.MinYield, res.Placement)
+	}
+	if res.Placement[0] == res.Placement[1] {
+		t.Fatalf("services should be spread: %v", res.Placement)
+	}
+}
+
+func TestUpperBoundDominatesExact(t *testing.T) {
+	ps := []*core.Problem{fig1(), twoServices()}
+	for i, p := range ps {
+		ub, err := UpperBound(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SolveExact(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Solved && ub < res.MinYield-1e-6 {
+			t.Fatalf("case %d: upper bound %v below exact %v", i, ub, res.MinYield)
+		}
+	}
+}
+
+func TestUpperBoundInfeasible(t *testing.T) {
+	p := fig1()
+	// Memory requirement larger than any node: infeasible.
+	p.Services[0].ReqAgg = vec.Of(1.0, 5.0)
+	p.Services[0].ReqElem = vec.Of(0.5, 5.0)
+	ub, err := UpperBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub >= 0 {
+		t.Fatalf("upper bound = %v, want negative (infeasible)", ub)
+	}
+}
+
+func TestRRNDPlacesFeasibly(t *testing.T) {
+	p := twoServices()
+	rel, err := SolveRelaxed(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	res := RRND(p, rel, 10, rng)
+	if !res.Solved {
+		t.Fatal("RRND failed on an easy instance")
+	}
+	if err := res.Placement.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRRNZHandlesZeroProbabilities(t *testing.T) {
+	p := twoServices()
+	// A relaxation that puts all mass on node 0 for both services; node 0
+	// cannot hold both (memory 0.4+0.4 <= 1.0 fits; CPU requirement
+	// 0.4+0.4 <= 1.0 fits... so make it tighter).
+	p.Nodes[0].Aggregate = vec.Of(0.5, 0.5)
+	rel := &Relaxed{Feasible: true, E: [][]float64{{1, 0}, {1, 0}}}
+	rng := rand.New(rand.NewSource(2))
+	// RRND can only try node 0 for both; the second service cannot fit
+	// (CPU 0.8 > 0.5), and with zero probability elsewhere it must fail.
+	if res := RRND(p, rel, 5, rng); res.Solved {
+		t.Fatal("RRND should fail when mass is stuck on a full node")
+	}
+	// RRNZ floors the zero to Epsilon and eventually places on node 1.
+	if res := RRNZ(p, rel, 50, rng); !res.Solved {
+		t.Fatal("RRNZ should succeed via the epsilon floor")
+	}
+}
+
+func TestRoundingRespectsInfeasibleRelaxation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if res := RRND(fig1(), &Relaxed{}, 3, rng); res.Solved {
+		t.Fatal("infeasible relaxation must yield failed result")
+	}
+	if res := RRNZ(fig1(), &Relaxed{}, 3, rng); res.Solved {
+		t.Fatal("infeasible relaxation must yield failed result")
+	}
+}
+
+// Random small instances: relaxation upper bound must always dominate the
+// exact MILP optimum, and RRNZ solutions must be valid placements.
+func TestRandomInstancesBoundAndRounding(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 15; iter++ {
+		p := randomProblem(rng, 2, 3)
+		ub, err := UpperBound(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := SolveExact(p, &milp.Options{MaxNodes: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Solved {
+			if ub < exact.MinYield-1e-5 {
+				t.Fatalf("iter %d: UB %v < exact %v", iter, ub, exact.MinYield)
+			}
+			rel, err := SolveRelaxed(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := RRNZ(p, rel, 40, rng)
+			if res.Solved {
+				if err := res.Placement.Validate(p); err != nil {
+					t.Fatalf("iter %d: invalid RRNZ placement: %v", iter, err)
+				}
+				if res.MinYield > ub+1e-6 {
+					t.Fatalf("iter %d: RRNZ yield %v exceeds UB %v", iter, res.MinYield, ub)
+				}
+			}
+		}
+	}
+}
+
+func randomProblem(rng *rand.Rand, h, j int) *core.Problem {
+	p := &core.Problem{}
+	for i := 0; i < h; i++ {
+		cpu := 0.4 + rng.Float64()*0.6
+		mem := 0.4 + rng.Float64()*0.6
+		p.Nodes = append(p.Nodes, core.Node{
+			Elementary: vec.Of(cpu/4, mem),
+			Aggregate:  vec.Of(cpu, mem),
+		})
+	}
+	for s := 0; s < j; s++ {
+		needCPU := rng.Float64() * 0.3
+		mem := rng.Float64() * 0.15
+		p.Services = append(p.Services, core.Service{
+			ReqElem:  vec.Of(0.01, mem),
+			ReqAgg:   vec.Of(0.01, mem),
+			NeedElem: vec.Of(needCPU/2, 0),
+			NeedAgg:  vec.Of(needCPU, 0),
+		})
+	}
+	return p
+}
+
+// The dense and revised simplex back-ends must agree on the relaxation.
+func TestRelaxationSolverBackendsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for iter := 0; iter < 8; iter++ {
+		p := randomProblem(rng, 3, 6)
+		enc := Encode(p)
+		dense, err := lp.Solve(enc.LP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rev, err := lp.SolveRevised(enc.LP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dense.Status != rev.Status {
+			t.Fatalf("iter %d: status %v vs %v", iter, dense.Status, rev.Status)
+		}
+		if dense.Status == lp.Optimal && math.Abs(dense.Objective-rev.Objective) > 1e-6 {
+			t.Fatalf("iter %d: objective %v vs %v", iter, dense.Objective, rev.Objective)
+		}
+	}
+}

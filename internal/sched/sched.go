@@ -1,0 +1,340 @@
+// Package sched models CPU allocation to co-located services when the
+// scheduler's estimates of CPU needs may be wrong (paper §6). It implements
+// the iterative work-conserving proportional-share redistribution, the three
+// allocation policies ALLOCCAPS, ALLOCWEIGHTS and EQUALWEIGHTS, the
+// zero-knowledge baseline placement, and the minimum-threshold mitigation
+// strategy for bounded estimate errors.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"vmalloc/internal/core"
+)
+
+// ShareEpsilon is the smallest CPU allocation considered by the iterative
+// redistribution (paper uses 0.0001 to avoid infinite recursion).
+const ShareEpsilon = 1e-4
+
+// Policy selects how CPU is divided among the services of one node.
+type Policy int
+
+const (
+	// AllocCaps assigns hard utilization caps proportional to the
+	// estimate-optimal allocation; unused capacity is wasted.
+	AllocCaps Policy = iota
+	// AllocWeights feeds the estimate-optimal allocations as weights to a
+	// work-conserving proportional-share scheduler.
+	AllocWeights
+	// EqualWeights gives every service the same weight under the
+	// work-conserving scheduler, using no estimate information.
+	EqualWeights
+)
+
+// String returns the paper's name for the policy.
+func (p Policy) String() string {
+	switch p {
+	case AllocCaps:
+		return "ALLOCCAPS"
+	case AllocWeights:
+		return "ALLOCWEIGHTS"
+	case EqualWeights:
+		return "EQUALWEIGHTS"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// WaterFill distributes capacity among services in proportion to weights,
+// work-conservingly: any share beyond a service's demand is pooled and
+// redistributed among the still-unsatisfied services by weight, until all
+// are satisfied or the capacity is exhausted. It returns the allocation per
+// service. Zero-weight services receive capacity only after every positive-
+// weight service is satisfied (they share the leftovers equally).
+func WaterFill(capacity float64, weights, demands []float64) []float64 {
+	n := len(demands)
+	if len(weights) != n {
+		panic("sched: weights/demands length mismatch")
+	}
+	alloc := make([]float64, n)
+	active := make([]bool, n)
+	nActive := 0
+	for j := 0; j < n; j++ {
+		if demands[j] > 0 && weights[j] > 0 {
+			active[j] = true
+			nActive++
+		}
+	}
+	pool := capacity
+	for pool > ShareEpsilon && nActive > 0 {
+		totalW := 0.0
+		for j := 0; j < n; j++ {
+			if active[j] {
+				totalW += weights[j]
+			}
+		}
+		used := 0.0
+		satisfied := 0
+		grant := pool
+		for j := 0; j < n; j++ {
+			if !active[j] {
+				continue
+			}
+			give := grant * weights[j] / totalW
+			rem := demands[j] - alloc[j]
+			if give >= rem-ShareEpsilon {
+				alloc[j] = demands[j]
+				used += rem
+				active[j] = false
+				nActive--
+				satisfied++
+			} else {
+				alloc[j] += give
+				used += give
+			}
+		}
+		pool -= used
+		if satisfied == 0 {
+			break // everyone took a proportional share; pool is spent
+		}
+	}
+	// Leftover capacity flows to zero-weight services with demand, equally.
+	if pool > ShareEpsilon {
+		var zw []int
+		for j := 0; j < n; j++ {
+			if weights[j] <= 0 && demands[j] > alloc[j] {
+				zw = append(zw, j)
+			}
+		}
+		for len(zw) > 0 && pool > ShareEpsilon {
+			share := pool / float64(len(zw))
+			var next []int
+			for _, j := range zw {
+				rem := demands[j] - alloc[j]
+				if share >= rem-ShareEpsilon {
+					alloc[j] = demands[j]
+					pool -= rem
+				} else {
+					alloc[j] += share
+					pool -= share
+					next = append(next, j)
+				}
+			}
+			if len(next) == len(zw) {
+				break
+			}
+			zw = next
+		}
+	}
+	return alloc
+}
+
+// NodeCPU captures the CPU picture of one node for the error model: the
+// aggregate CPU capacity, and per hosted service the aggregate CPU
+// requirement, the true aggregate CPU need, and the scheduler's estimate.
+type NodeCPU struct {
+	Capacity  float64
+	Req       []float64
+	TrueNeed  []float64
+	Estimated []float64
+}
+
+// EstimateOptimalYield returns the uniform yield that maximizes the minimum
+// yield on the node according to the estimates: min(1, freeCPU/Σestimates).
+func (nc *NodeCPU) EstimateOptimalYield() float64 {
+	sumReq, sumEst := 0.0, 0.0
+	for i := range nc.Req {
+		sumReq += nc.Req[i]
+		sumEst += nc.Estimated[i]
+	}
+	free := nc.Capacity - sumReq
+	if free <= 0 {
+		return 0
+	}
+	if sumEst <= 0 {
+		return 1
+	}
+	return math.Min(1, free/sumEst)
+}
+
+// Yields computes each service's achieved yield on the node under the given
+// policy. A yield is (allocation beyond requirement)/true need, clamped to
+// [0,1]; services with zero true need have yield 1 by convention.
+func (nc *NodeCPU) Yields(policy Policy) []float64 {
+	n := len(nc.TrueNeed)
+	yields := make([]float64, n)
+	yStar := nc.EstimateOptimalYield()
+
+	sumReq := 0.0
+	for i := range nc.Req {
+		sumReq += nc.Req[i]
+	}
+	free := math.Max(0, nc.Capacity-sumReq)
+
+	switch policy {
+	case AllocCaps:
+		for j := 0; j < n; j++ {
+			cap := yStar * nc.Estimated[j] // allocation beyond the requirement
+			got := math.Min(cap, nc.TrueNeed[j])
+			yields[j] = yieldOf(got, nc.TrueNeed[j])
+		}
+	case AllocWeights, EqualWeights:
+		weights := make([]float64, n)
+		for j := 0; j < n; j++ {
+			if policy == EqualWeights {
+				weights[j] = 1
+			} else {
+				// The estimate-optimal allocation acts as the weight.
+				weights[j] = nc.Req[j] + yStar*nc.Estimated[j]
+				if weights[j] <= 0 {
+					// A service estimated to need nothing still competes
+					// with a minimal weight, mirroring the epsilon floor of
+					// the iterative algorithm.
+					weights[j] = ShareEpsilon
+				}
+			}
+		}
+		alloc := WaterFill(free, weights, nc.TrueNeed)
+		for j := 0; j < n; j++ {
+			yields[j] = yieldOf(alloc[j], nc.TrueNeed[j])
+		}
+	default:
+		panic("sched: unknown policy")
+	}
+	return yields
+}
+
+func yieldOf(got, need float64) float64 {
+	if need <= 0 {
+		return 1
+	}
+	return math.Max(0, math.Min(1, got/need))
+}
+
+// MinYield returns the minimum over Yields(policy), or 1 for an empty node.
+func (nc *NodeCPU) MinYield(policy Policy) float64 {
+	min := 1.0
+	for _, y := range nc.Yields(policy) {
+		if y < min {
+			min = y
+		}
+	}
+	return min
+}
+
+// BuildNodeCPU extracts the CPU picture of node h for placement pl, taking
+// requirements and true needs from trueP and estimated needs from estP.
+// cpuDim selects the CPU dimension index.
+func BuildNodeCPU(trueP, estP *core.Problem, pl core.Placement, h, cpuDim int) *NodeCPU {
+	nc := &NodeCPU{Capacity: trueP.Nodes[h].Aggregate[cpuDim]}
+	for j, node := range pl {
+		if node != h {
+			continue
+		}
+		nc.Req = append(nc.Req, trueP.Services[j].ReqAgg[cpuDim])
+		nc.TrueNeed = append(nc.TrueNeed, trueP.Services[j].NeedAgg[cpuDim])
+		nc.Estimated = append(nc.Estimated, estP.Services[j].NeedAgg[cpuDim])
+	}
+	return nc
+}
+
+// EvaluatePlacement computes the minimum achieved yield over all services
+// when the placement pl (computed from estP's estimates) runs against the
+// true needs in trueP under the given policy.
+func EvaluatePlacement(trueP, estP *core.Problem, pl core.Placement, policy Policy, cpuDim int) float64 {
+	min := 1.0
+	for h := 0; h < trueP.NumNodes(); h++ {
+		nc := BuildNodeCPU(trueP, estP, pl, h, cpuDim)
+		if len(nc.TrueNeed) == 0 {
+			continue
+		}
+		if y := nc.MinYield(policy); y < min {
+			min = y
+		}
+	}
+	return min
+}
+
+// ZeroKnowledgePlacement spreads services as evenly as possible over the
+// nodes ("scheduling in the dark"): each service goes to the feasible node
+// (requirements fit) currently hosting the fewest services. It returns an
+// incomplete placement if some service fits nowhere.
+func ZeroKnowledgePlacement(p *core.Problem) core.Placement {
+	pl := core.NewPlacement(p.NumServices())
+	counts := make([]int, p.NumNodes())
+	reqLoads := make([][]float64, p.NumNodes())
+	d := p.Dim()
+	for h := range reqLoads {
+		reqLoads[h] = make([]float64, d)
+	}
+	for j := range p.Services {
+		s := &p.Services[j]
+		best := -1
+		for h := 0; h < p.NumNodes(); h++ {
+			ok := true
+			for dd := 0; dd < d; dd++ {
+				if s.ReqElem[dd] > p.Nodes[h].Elementary[dd]+core.DefaultEpsilon ||
+					reqLoads[h][dd]+s.ReqAgg[dd] > p.Nodes[h].Aggregate[dd]+core.DefaultEpsilon {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if best == -1 || counts[h] < counts[best] {
+				best = h
+			}
+		}
+		if best == -1 {
+			return pl
+		}
+		pl[j] = best
+		counts[best]++
+		for dd := 0; dd < d; dd++ {
+			reqLoads[best][dd] += s.ReqAgg[dd]
+		}
+	}
+	return pl
+}
+
+// ApplyThreshold returns a copy of estP in which every service's estimated
+// aggregate CPU need is rounded up to at least threshold; elementary CPU
+// needs are scaled to preserve their proportion to the aggregate (paper
+// §6.2). Estimates above the threshold are unchanged.
+func ApplyThreshold(estP *core.Problem, cpuDim int, threshold float64) *core.Problem {
+	q := estP.Clone()
+	for j := range q.Services {
+		s := &q.Services[j]
+		old := s.NeedAgg[cpuDim]
+		if old >= threshold {
+			continue
+		}
+		s.NeedAgg[cpuDim] = threshold
+		if old > 0 {
+			s.NeedElem[cpuDim] *= threshold / old
+			if s.NeedElem[cpuDim] > threshold {
+				s.NeedElem[cpuDim] = threshold
+			}
+		} else {
+			s.NeedElem[cpuDim] = threshold
+		}
+		// Elementary needs can never exceed what a single element can use.
+		if s.NeedElem[cpuDim] > s.NeedAgg[cpuDim] {
+			s.NeedElem[cpuDim] = s.NeedAgg[cpuDim]
+		}
+	}
+	return q
+}
+
+// CompetitiveLowerBound returns the worst-case performance ratio of
+// EQUALWEIGHTS proven in Theorem 1: (2J-1)/J² for J services on a single
+// node with a single resource.
+func CompetitiveLowerBound(j int) float64 {
+	if j <= 0 {
+		return 0
+	}
+	J := float64(j)
+	return (2*J - 1) / (J * J)
+}

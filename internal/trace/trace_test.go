@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vmalloc/internal/workload"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	recs := Synthesize(50, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("lost records: %d vs %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"1,2,3\n",                    // wrong column count
+		"x,2,3,0,1,0.5\n",            // bad timestamp
+		"1,2,3,0,notanint,0.5\n",     // bad cores
+		"1,2,3,0,1,NaN\n",            // NaN memory
+		"1,2,3,0,-1,0.5\n",           // negative cores
+		"1,2,3,zero,1,0.5\n",         // bad event
+		"1,2,3.5,0,1,0.5\n",          // bad task index
+		"1,notajob,3,0,1,0.5\n",      // bad job
+		"1,2,3,0,1,-0.5\n",           // negative memory
+		"1,2,3,0,1,0.5\n1,2,3,0,1\n", // second row short
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: malformed row accepted: %q", i, c)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	recs := Synthesize(10, 2)
+	if err := WriteFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("%d vs %d", len(got), len(recs))
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestSynthesizeStructure(t *testing.T) {
+	recs := Synthesize(20, 3)
+	if len(recs) != 60 {
+		t.Fatalf("expected submit+schedule+finish per task: %d", len(recs))
+	}
+	submits := 0
+	for _, r := range recs {
+		if r.Event == EventSubmit {
+			submits++
+			if r.Cores < 1 || r.MemFrac <= 0 {
+				t.Fatalf("bad submit %+v", r)
+			}
+		}
+	}
+	if submits != 20 {
+		t.Fatalf("submits = %d", submits)
+	}
+}
+
+func TestExtractMarginals(t *testing.T) {
+	recs := Synthesize(2000, 4)
+	e, err := Extract(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weights sum to 1 and follow the generating distribution loosely.
+	sum := 0.0
+	for _, w := range e.CoreWeights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum %v", sum)
+	}
+	if len(e.MemFracs) != 2000 {
+		t.Fatalf("|mems| = %d", len(e.MemFracs))
+	}
+	// 1-core tasks should dominate (generator weight 0.60).
+	if e.CoreValues[0] != 1 || e.CoreWeights[0] < 0.5 {
+		t.Fatalf("core marginal off: %v %v", e.CoreValues, e.CoreWeights)
+	}
+}
+
+func TestExtractIgnoresNonSubmitAndZeroCore(t *testing.T) {
+	recs := []Record{
+		{Event: EventSchedule, Cores: 4, MemFrac: 0.2},
+		{Event: EventSubmit, Cores: 0, MemFrac: 0.2}, // no CPU request
+		{Event: EventSubmit, Cores: 2, MemFrac: 0.1},
+	}
+	e, err := Extract(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.MemFracs) != 1 || e.CoreValues[0] != 2 {
+		t.Fatalf("extract = %+v", e)
+	}
+}
+
+func TestExtractEmptyErrors(t *testing.T) {
+	if _, err := Extract(nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := Extract([]Record{{Event: EventFinish}}); err == nil {
+		t.Fatal("no-submit trace accepted")
+	}
+}
+
+func TestEmpiricalSampler(t *testing.T) {
+	e, err := Extract(Synthesize(1000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		c := e.SampleCores(rng)
+		seen[c] = true
+		valid := false
+		for _, v := range e.CoreValues {
+			if v == c {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("sampled core %d not in support %v", c, e.CoreValues)
+		}
+		m := e.SampleMem(rng)
+		if m < e.MemFracs[0] || m > e.MemFracs[len(e.MemFracs)-1] {
+			t.Fatalf("sampled mem %v outside empirical range", m)
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatal("sampler collapsed to one core value")
+	}
+}
+
+func TestFitGoogleRecoversMoments(t *testing.T) {
+	// Build a trace from known marginals, fit back, compare.
+	e, err := Extract(Synthesize(5000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := e.FitGoogle()
+	def := workload.DefaultGoogle()
+	if math.Abs(g.MemLogMean-def.MemLogMean) > 0.2 {
+		t.Fatalf("log-mean %v, want ~%v", g.MemLogMean, def.MemLogMean)
+	}
+	// Sigma is attenuated by truncation to [MemMin, MemMax]; allow slack.
+	if g.MemLogSigma < 0.5 || g.MemLogSigma > 1.2 {
+		t.Fatalf("log-sigma %v, want ~%v (truncated)", g.MemLogSigma, def.MemLogSigma)
+	}
+	// Core weights approximately match.
+	for i, c := range g.CoreChoices {
+		var want float64
+		for k, v := range def.CoreChoices {
+			if v == c {
+				want = def.CoreWeights[k]
+			}
+		}
+		if math.Abs(g.CoreWeights[i]-want) > 0.05 {
+			t.Fatalf("core %d weight %v, want ~%v", c, g.CoreWeights[i], want)
+		}
+	}
+}
+
+func TestGenerateFromEmpirical(t *testing.T) {
+	e, err := Extract(Synthesize(500, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn := workload.Scenario{Hosts: 8, Services: 30, COV: 0.5, Slack: 0.4, Seed: 9}
+	p := workload.GenerateSampled(scn, e)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumServices() != 30 {
+		t.Fatalf("services = %d", p.NumServices())
+	}
+	// Normalizations still hold with an empirical sampler.
+	totalNeed := 0.0
+	for j := range p.Services {
+		totalNeed += p.Services[j].NeedAgg[workload.CPU]
+	}
+	if math.Abs(totalNeed-p.TotalAggregate()[workload.CPU]) > 1e-6 {
+		t.Fatal("CPU normalization broken with empirical sampler")
+	}
+}

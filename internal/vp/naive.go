@@ -1,0 +1,103 @@
+package vp
+
+import (
+	"vmalloc/internal/core"
+	"vmalloc/internal/vec"
+)
+
+// PackPermutationNaive is the reference implementation of Permutation-Pack
+// following Leinberger et al. as described in §3.5.2: items are conceptually
+// split into D! lists keyed by their dimension permutation, and for each bin
+// the lists are probed in the bin's lexicographic preference order. It
+// produces exactly the same packing as the improved key-mapping
+// implementation (Pack with Alg=PermutationPack and a full window) but costs
+// O(D!·J) per selection instead of O(J·D); it exists for the ablation
+// benchmark and as a cross-check oracle in tests.
+func PackPermutationNaive(p *core.Problem, y float64, itemOrder, binOrder Order) (core.Placement, bool) {
+	inst := NewInstance(p, y)
+	items := itemOrder.Sort(inst.ItemAgg)
+	d := p.Dim()
+	perms := permutations(d)
+
+	itemRank := make([][]int, p.NumServices())
+	for _, j := range items {
+		itemRank[j] = vec.Rank(inst.ItemAgg[j], true)
+	}
+
+	for _, h := range binOrder.Sort(binCaps(p)) {
+		for {
+			binRank := vec.Rank(inst.Load[h], false)
+			placed := false
+			// Probe candidate keys from best (identity) to worst.
+			for _, key := range perms {
+				for _, j := range items {
+					if inst.placed[j] || !inst.Fits(j, h) {
+						continue
+					}
+					if !equalInts(vec.PermutationKey(binRank, itemRank[j]), key) {
+						continue
+					}
+					inst.Place(j, h)
+					placed = true
+					break
+				}
+				if placed {
+					break
+				}
+			}
+			if !placed {
+				break
+			}
+		}
+	}
+	return inst.Placement, inst.Done()
+}
+
+func binCaps(p *core.Problem) []vec.Vec {
+	caps := make([]vec.Vec, p.NumNodes())
+	for h := range caps {
+		caps[h] = p.Nodes[h].Aggregate
+	}
+	return caps
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// permutations returns every permutation of 0..n-1 in lexicographic order.
+func permutations(n int) [][]int {
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	used := make([]bool, n)
+	perm := make([]int, n)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			perm[k] = v
+			rec(k + 1)
+			used[v] = false
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,402 @@
+// Package vp implements the vector-packing machinery of paper §3.5: the
+// reduction from minimum-yield maximization to heterogeneous vector bin
+// packing via binary search on the yield, the First-Fit, Best-Fit,
+// Permutation-Pack and Choose-Pack heuristics, the eleven item/bin sorting
+// strategies, and the METAVP combination algorithm.
+//
+// At a fixed yield Y every service becomes an item with aggregate vector
+// r^a + Y·n^a and elementary vector r^e + Y·n^e; a bin accepts an item when
+// the elementary vector fits within the node's elementary capacity and the
+// bin's aggregate load plus the item's aggregate vector fits within the
+// node's aggregate capacity.
+package vp
+
+import (
+	"fmt"
+	"sort"
+
+	"vmalloc/internal/core"
+	"vmalloc/internal/vec"
+)
+
+// DefaultTolerance is the binary-search stopping threshold used in the
+// paper's simulations.
+const DefaultTolerance = 1e-4
+
+// Order is one of the eleven vector sorting strategies: one of the five
+// metrics ascending or descending, or no sorting at all.
+type Order struct {
+	// None leaves vectors in natural order; Metric/Descending are ignored.
+	None       bool
+	Metric     vec.Metric
+	Descending bool
+}
+
+// NoOrder is the "do not sort" strategy.
+var NoOrder = Order{None: true}
+
+// String names the order like "DESC(SUM)" or "NONE".
+func (o Order) String() string {
+	if o.None {
+		return "NONE"
+	}
+	dir := "ASC"
+	if o.Descending {
+		dir = "DESC"
+	}
+	return fmt.Sprintf("%s(%s)", dir, o.Metric)
+}
+
+// AllOrders returns the 11 sorting strategies of §3.5: 5 metrics × 2
+// directions plus NONE.
+func AllOrders() []Order {
+	out := []Order{NoOrder}
+	for _, m := range vec.Metrics() {
+		out = append(out, Order{Metric: m, Descending: false})
+		out = append(out, Order{Metric: m, Descending: true})
+	}
+	return out
+}
+
+// Sort returns the indices 0..n-1 ordered by o over the given vectors,
+// stable with respect to natural order.
+func (o Order) Sort(vectors []vec.Vec) []int {
+	idx := make([]int, len(vectors))
+	for i := range idx {
+		idx[i] = i
+	}
+	if o.None {
+		return idx
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		c := o.Metric.Compare(vectors[idx[a]], vectors[idx[b]])
+		if o.Descending {
+			return c > 0
+		}
+		return c < 0
+	})
+	return idx
+}
+
+// Instance is a packing instance: the problem frozen at a common yield.
+type Instance struct {
+	P     *core.Problem
+	Yield float64
+	// ItemAgg[j] = r^a_j + Y·n^a_j, ItemElem[j] = r^e_j + Y·n^e_j.
+	ItemAgg  []vec.Vec
+	ItemElem []vec.Vec
+	// Load[h] is the current aggregate load of bin h.
+	Load []vec.Vec
+	// placed[j] reports whether item j has been placed.
+	placed []bool
+	// Placement is the partial placement built so far.
+	Placement core.Placement
+	remaining int
+}
+
+// NewInstance freezes problem p at yield y.
+func NewInstance(p *core.Problem, y float64) *Instance {
+	inst := &Instance{
+		P:         p,
+		Yield:     y,
+		ItemAgg:   make([]vec.Vec, p.NumServices()),
+		ItemElem:  make([]vec.Vec, p.NumServices()),
+		Load:      make([]vec.Vec, p.NumNodes()),
+		placed:    make([]bool, p.NumServices()),
+		Placement: core.NewPlacement(p.NumServices()),
+		remaining: p.NumServices(),
+	}
+	for j := range p.Services {
+		s := &p.Services[j]
+		inst.ItemAgg[j] = s.AggAt(y)
+		inst.ItemElem[j] = s.ElemAt(y)
+	}
+	for h := range inst.Load {
+		inst.Load[h] = vec.New(p.Dim())
+	}
+	return inst
+}
+
+// Fits reports whether item j currently fits in bin h.
+func (inst *Instance) Fits(j, h int) bool {
+	n := &inst.P.Nodes[h]
+	if !inst.ItemElem[j].LessEq(n.Elementary, core.DefaultEpsilon) {
+		return false
+	}
+	return inst.Load[h].Add(inst.ItemAgg[j]).LessEq(n.Aggregate, core.DefaultEpsilon)
+}
+
+// Place commits item j to bin h.
+func (inst *Instance) Place(j, h int) {
+	if inst.placed[j] {
+		panic("vp: item placed twice")
+	}
+	inst.placed[j] = true
+	inst.Placement[j] = h
+	inst.Load[h].AccumAdd(inst.ItemAgg[j])
+	inst.remaining--
+}
+
+// Done reports whether every item is placed.
+func (inst *Instance) Done() bool { return inst.remaining == 0 }
+
+// Remaining returns the remaining capacity vector of bin h.
+func (inst *Instance) Remaining(h int) vec.Vec {
+	return inst.P.Nodes[h].Aggregate.Sub(inst.Load[h])
+}
+
+// Algorithm identifies one of the packing heuristics.
+type Algorithm int
+
+const (
+	// FirstFit places each item in the first bin (in bin order) that fits.
+	FirstFit Algorithm = iota
+	// BestFit places each item in the fullest bin that fits: greatest load
+	// sum in the homogeneous variant, least remaining capacity sum in the
+	// heterogeneous variant.
+	BestFit
+	// PermutationPack fills bin by bin, choosing items whose dimension
+	// ranking best complements the bin's (§3.5.2), using the improved
+	// O(J²D) key-mapping implementation.
+	PermutationPack
+	// ChoosePack is Permutation-Pack with the window match relaxed to a set
+	// test: an item qualifies if its top-w dimensions land in the bin's
+	// top-w positions, regardless of order.
+	ChoosePack
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case FirstFit:
+		return "FF"
+	case BestFit:
+		return "BF"
+	case PermutationPack:
+		return "PP"
+	case ChoosePack:
+		return "CP"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config fully specifies one packing strategy.
+type Config struct {
+	Alg       Algorithm
+	ItemOrder Order
+	// BinOrder applies to FirstFit, PermutationPack and ChoosePack. BestFit
+	// imposes its own dynamic bin selection and ignores it.
+	BinOrder Order
+	// Hetero switches BestFit and PermutationPack/ChoosePack to the
+	// heterogeneity-aware variants (§3.5.4): bin fullness and dimension
+	// ranking are measured on remaining capacity instead of load.
+	Hetero bool
+	// Window is the Permutation/Choose-Pack window size w; 0 means all D
+	// dimensions.
+	Window int
+}
+
+// String names the strategy, e.g. "HVP-PP[items=DESC(MAX),bins=ASC(SUM)]".
+func (c Config) String() string {
+	prefix := "VP"
+	if c.Hetero {
+		prefix = "HVP"
+	}
+	if c.Alg == BestFit {
+		return fmt.Sprintf("%s-%s[items=%s]", prefix, c.Alg, c.ItemOrder)
+	}
+	return fmt.Sprintf("%s-%s[items=%s,bins=%s]", prefix, c.Alg, c.ItemOrder, c.BinOrder)
+}
+
+// Pack attempts to pack every service at yield y under strategy c, returning
+// the placement and whether it is complete.
+func Pack(p *core.Problem, y float64, c Config) (core.Placement, bool) {
+	inst := NewInstance(p, y)
+	items := c.ItemOrder.Sort(inst.ItemAgg)
+
+	switch c.Alg {
+	case FirstFit:
+		bins := binOrder(p, c.BinOrder)
+		for _, j := range items {
+			ok := false
+			for _, h := range bins {
+				if inst.Fits(j, h) {
+					inst.Place(j, h)
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return inst.Placement, false
+			}
+		}
+	case BestFit:
+		for _, j := range items {
+			best, found := -1, false
+			var bestScore float64
+			for h := 0; h < p.NumNodes(); h++ {
+				if !inst.Fits(j, h) {
+					continue
+				}
+				var score float64
+				if c.Hetero {
+					// Least total remaining capacity wins.
+					score = -inst.Remaining(h).Sum()
+				} else {
+					// Greatest total load wins.
+					score = inst.Load[h].Sum()
+				}
+				if !found || score > bestScore {
+					best, bestScore, found = h, score, true
+				}
+			}
+			if !found {
+				return inst.Placement, false
+			}
+			inst.Place(j, best)
+		}
+	case PermutationPack, ChoosePack:
+		packByBins(inst, items, c)
+	default:
+		panic("vp: unknown algorithm")
+	}
+	return inst.Placement, inst.Done()
+}
+
+// binOrder returns bin indices sorted by aggregate capacity under o.
+func binOrder(p *core.Problem, o Order) []int {
+	caps := make([]vec.Vec, p.NumNodes())
+	for h := range caps {
+		caps[h] = p.Nodes[h].Aggregate
+	}
+	return o.Sort(caps)
+}
+
+// packByBins runs the Permutation-Pack / Choose-Pack loop: for each bin in
+// order, repeatedly select the unplaced fitting item whose dimension
+// permutation best complements the bin, until nothing more fits.
+func packByBins(inst *Instance, items []int, c Config) {
+	p := inst.P
+	d := p.Dim()
+	w := c.Window
+	if w <= 0 || w > d {
+		w = d
+	}
+	bins := binOrder(p, c.BinOrder)
+	// Item dimension rankings are static for the whole pack.
+	itemRank := make([][]int, p.NumServices())
+	for _, j := range items {
+		itemRank[j] = vec.Rank(inst.ItemAgg[j], true)
+	}
+	for _, h := range bins {
+		for {
+			// Rank the bin's dimensions: ascending load (homogeneous) or,
+			// equivalently for the heterogeneous variant, descending
+			// remaining capacity.
+			var binRank []int
+			if c.Hetero {
+				binRank = vec.Rank(inst.Remaining(h), true)
+			} else {
+				binRank = vec.Rank(inst.Load[h], false)
+			}
+			best := -1
+			var bestKey []int
+			bestWithin := false
+			for _, j := range items {
+				if inst.placed[j] || !inst.Fits(j, h) {
+					continue
+				}
+				key := vec.PermutationKey(binRank, itemRank[j])
+				if c.Alg == ChoosePack {
+					// The first within-window item in item order wins; with
+					// none in the window, fall back to lexicographic keys.
+					if bestWithin {
+						continue
+					}
+					if vec.KeyWithinWindow(key, w) {
+						best, bestKey, bestWithin = j, key, true
+					} else if best == -1 || vec.CompareKeys(key, bestKey, w) < 0 {
+						best, bestKey = j, key
+					}
+				} else if best == -1 || vec.CompareKeys(key, bestKey, w) < 0 {
+					best, bestKey = j, key
+				}
+			}
+			if best == -1 {
+				break
+			}
+			inst.Place(best, h)
+		}
+	}
+}
+
+// TryFunc attempts a packing at a yield, returning a complete placement and
+// success.
+type TryFunc func(y float64) (core.Placement, bool)
+
+// SearchMaxYield performs the paper's binary search for the largest yield at
+// which try succeeds, with the given tolerance (DefaultTolerance if <= 0).
+// The returned result evaluates the best placement found, so the reported
+// minimum yield can slightly exceed the search's lower bound.
+func SearchMaxYield(p *core.Problem, tol float64, try TryFunc) *core.Result {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	// Yield 1 first: saturated success short-circuits the search.
+	if pl, ok := try(1); ok {
+		return core.EvaluatePlacement(p, pl)
+	}
+	bestPl, ok := try(0)
+	if !ok {
+		return &core.Result{}
+	}
+	lo, hi := 0.0, 1.0
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if pl, ok := try(mid); ok {
+			lo, bestPl = mid, pl
+		} else {
+			hi = mid
+		}
+	}
+	return core.EvaluatePlacement(p, bestPl)
+}
+
+// Solve runs one packing strategy inside the yield binary search.
+func Solve(p *core.Problem, c Config, tol float64) *core.Result {
+	return SearchMaxYield(p, tol, func(y float64) (core.Placement, bool) {
+		return Pack(p, y, c)
+	})
+}
+
+// MetaVPConfigs returns the 33 homogeneous strategies of METAVP (§3.5.3):
+// {FF, BF, PP} × 11 item orders, natural bin order.
+func MetaVPConfigs() []Config {
+	var out []Config
+	for _, alg := range []Algorithm{FirstFit, BestFit, PermutationPack} {
+		for _, io := range AllOrders() {
+			out = append(out, Config{Alg: alg, ItemOrder: io, BinOrder: NoOrder})
+		}
+	}
+	return out
+}
+
+// MetaVP runs the METAVP algorithm: at each binary-search step, all 33
+// homogeneous strategies are tried until one succeeds.
+func MetaVP(p *core.Problem, tol float64) *core.Result {
+	return MetaConfigs(p, MetaVPConfigs(), tol)
+}
+
+// MetaConfigs is the generic meta-algorithm over an arbitrary strategy set:
+// a binary-search step succeeds as soon as any strategy packs the instance.
+func MetaConfigs(p *core.Problem, configs []Config, tol float64) *core.Result {
+	return SearchMaxYield(p, tol, func(y float64) (core.Placement, bool) {
+		for _, c := range configs {
+			if pl, ok := Pack(p, y, c); ok {
+				return pl, true
+			}
+		}
+		return nil, false
+	})
+}

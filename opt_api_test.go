@@ -1,0 +1,66 @@
+package vmalloc
+
+import (
+	"testing"
+)
+
+func TestPublicImproveMonotone(t *testing.T) {
+	p := Generate(Scenario{Hosts: 6, Services: 18, COV: 0.6, Slack: 0.5, Seed: 3})
+	base, err := Solve(AlgoMetaGreedy, p, nil)
+	if err != nil || !base.Solved {
+		t.Skip("base placement unavailable")
+	}
+	imp := Improve(p, base.Placement)
+	if !imp.Solved {
+		t.Fatal("improve lost feasibility")
+	}
+	if imp.MinYield < base.MinYield-1e-9 {
+		t.Fatalf("improve decreased yield: %v -> %v", base.MinYield, imp.MinYield)
+	}
+}
+
+func TestPublicRepairAndMigrations(t *testing.T) {
+	p := Generate(Scenario{Hosts: 6, Services: 18, COV: 0.6, Slack: 0.5, Seed: 4})
+	first, err := Solve(AlgoMetaHVPLight, p, nil)
+	if err != nil || !first.Solved {
+		t.Skip("instance unsolvable")
+	}
+	// Workload change: three more services arrive.
+	q := p.Clone()
+	q.Services = append(q.Services, p.Services[0], p.Services[1], p.Services[2])
+	res := Repair(q, first.Placement, -1)
+	if !res.Solved {
+		t.Skip("grown workload unsolvable")
+	}
+	if err := res.Placement.Validate(q); err != nil {
+		t.Fatal(err)
+	}
+	if m := Migrations(first.Placement, res.Placement); m < 0 {
+		t.Fatalf("migrations = %d", m)
+	}
+	zero := Repair(q, first.Placement, 0)
+	if zero.Solved {
+		if m := Migrations(first.Placement, zero.Placement); m != 0 {
+			t.Fatalf("zero-budget repair migrated %d services", m)
+		}
+	}
+}
+
+func TestPublicMaterialize(t *testing.T) {
+	p := paperFig1()
+	res, err := Solve(AlgoMetaHVP, p, nil)
+	if err != nil || !res.Solved {
+		t.Fatal("fig1 must solve")
+	}
+	al, err := Materialize(p, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := al.Check(p, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	u := al.Utilization(p)
+	if u[0] <= 0 || u[0] > 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
