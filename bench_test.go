@@ -6,11 +6,14 @@ package vmalloc
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"vmalloc/internal/exp"
 	"vmalloc/internal/hvp"
+	"vmalloc/internal/lp"
 	"vmalloc/internal/milp"
 	"vmalloc/internal/platform"
 	"vmalloc/internal/relax"
@@ -43,16 +46,90 @@ func BenchmarkTable1PairwiseComparison(b *testing.B) {
 	}
 }
 
-// BenchmarkTable1LPRounding regenerates the RRND/RRNZ rows of Table 1 at the
-// reduced LP tier (the dense simplex replaces GLPK).
-func BenchmarkTable1LPRounding(b *testing.B) {
-	scns := exp.GridSpec{
-		Hosts: 4, Services: []int{10}, COVs: []float64{0.5},
+// lpPaperGrid is the paper-scale LP tier: well past the reduced sizes the
+// dense simplex was limited to (the sparse warm-started revised simplex
+// replaces GLPK).
+func lpPaperGrid() []workload.Scenario {
+	return exp.GridSpec{
+		Hosts: 8, Services: []int{64}, COVs: []float64{0, 0.5, 1.0},
 		Slacks: []float64{0.5}, Seeds: []int64{1, 2},
 	}.Scenarios()
+}
+
+// BenchmarkTable1LPRounding regenerates the RRND/RRNZ rows of Table 1 at the
+// paper-scale LP tier. The roster shares a warm-start cache: RRNZ re-solves
+// each relaxation from the basis RRND left behind.
+func BenchmarkTable1LPRounding(b *testing.B) {
+	scns := lpPaperGrid()
 	for i := 0; i < b.N; i++ {
-		rs := (&exp.Runner{}).Run(scns, []exp.Algo{exp.RRNDAlgo(1), exp.RRNZAlgo(1)})
+		rs := (&exp.Runner{}).Run(scns, exp.LPRoster(1))
 		_ = rs.Table1([]string{exp.NameRRND, exp.NameRRNZ})
+	}
+}
+
+// BenchmarkLPSparseVsDense solves the Eqs. 1–7 relaxations of the
+// paper-scale LP grid with the dense tableau simplex and the sparse revised
+// simplex; the ratio of the two sub-benchmarks is the sparse-path speedup
+// tracked across PRs.
+func BenchmarkLPSparseVsDense(b *testing.B) {
+	var encs []*relax.Encoding
+	for _, scn := range lpPaperGrid() {
+		encs = append(encs, relax.Encode(workload.Generate(scn)))
+	}
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, enc := range encs {
+				if _, err := lp.Solve(enc.LP); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, enc := range encs {
+				if _, err := lp.SolveSparse(enc.LP); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// TestPaperScaleLPSparseVsDense cross-validates the two solver paths on the
+// full paper-scale LP grid (objectives within 1e-6) and asserts the sparse
+// path's aggregate ≥5× speedup; the timing half is skipped in -short mode
+// and under the race detector, where instrumentation and machine load make
+// wall-clock assertions flaky.
+func TestPaperScaleLPSparseVsDense(t *testing.T) {
+	var denseTotal, sparseTotal time.Duration
+	for _, scn := range lpPaperGrid() {
+		enc := relax.Encode(workload.Generate(scn))
+		start := time.Now()
+		dense, err := lp.Solve(enc.LP)
+		denseTotal += time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start = time.Now()
+		sparse, err := lp.SolveSparse(enc.LP)
+		sparseTotal += time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dense.Status != sparse.Status {
+			t.Fatalf("%+v: status dense=%v sparse=%v", scn, dense.Status, sparse.Status)
+		}
+		if math.Abs(dense.Objective-sparse.Objective) > 1e-6 {
+			t.Fatalf("%+v: objective dense=%v sparse=%v", scn, dense.Objective, sparse.Objective)
+		}
+	}
+	if testing.Short() || raceEnabled {
+		return
+	}
+	if speedup := float64(denseTotal) / float64(sparseTotal); speedup < 5 {
+		t.Fatalf("sparse simplex only %.1fx faster than dense on the paper-scale grid (dense %v, sparse %v), want >= 5x",
+			speedup, denseTotal, sparseTotal)
 	}
 }
 

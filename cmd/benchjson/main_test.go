@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line string
+		ok   bool
+		name string
+		ns   float64
+	}{
+		{"BenchmarkTable1LPRounding-8 \t 3\t 123456789 ns/op", true, "BenchmarkTable1LPRounding", 123456789},
+		{"BenchmarkLPSparseVsDense/dense-16 \t 1\t 1718712374 ns/op", true, "BenchmarkLPSparseVsDense/dense", 1718712374},
+		{"BenchmarkX 	 10 	 42.5 ns/op 	 16 B/op", true, "BenchmarkX", 42.5},
+		{"ok  \tvmalloc\t1.569s", false, "", 0},
+		{"PASS", false, "", 0},
+		{"BenchmarkBroken abc ns/op", false, "", 0},
+	}
+	for _, c := range cases {
+		b, ok := parseLine(c.line)
+		if ok != c.ok {
+			t.Fatalf("%q: ok = %v, want %v", c.line, ok, c.ok)
+		}
+		if !ok {
+			continue
+		}
+		if b.Name != c.name || b.NsPerOp != c.ns {
+			t.Fatalf("%q: parsed %+v", c.line, b)
+		}
+	}
+}

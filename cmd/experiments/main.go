@@ -106,8 +106,8 @@ func newConfig(full bool) config {
 			slacks:   covRange(0.1, 0.9, 0.1),
 			seeds:    seedRange(100),
 			errSteps: covRange(0, 0.3, 0.02),
-			lpHosts:  8,
-			lpSvcs:   []int{16, 24},
+			lpHosts:  16,
+			lpSvcs:   []int{48, 64},
 		}
 	}
 	return config{
@@ -118,7 +118,7 @@ func newConfig(full bool) config {
 		seeds:    seedRange(3),
 		errSteps: []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3},
 		lpHosts:  8,
-		lpSvcs:   []int{16},
+		lpSvcs:   []int{32},
 	}
 }
 
@@ -155,7 +155,7 @@ func table1(cfg config) {
 		fmt.Print(sub.SuccessSummary(names))
 	}
 
-	fmt.Println("\n=== Table 1: LP tier (RRND/RRNZ at reduced size; see EXPERIMENTS.md) ===")
+	fmt.Println("\n=== Table 1: LP tier (RRND/RRNZ, sparse warm-started simplex) ===")
 	lpGrid := exp.GridSpec{
 		Hosts: cfg.lpHosts, Services: cfg.lpSvcs,
 		COVs: []float64{0, 0.5, 1.0}, Slacks: []float64{0.4, 0.6}, Seeds: cfg.seeds,

@@ -1,0 +1,3 @@
+module vmalloc
+
+go 1.24

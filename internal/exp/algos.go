@@ -6,10 +6,12 @@ package exp
 
 import (
 	"math/rand"
+	"sync"
 
 	"vmalloc/internal/core"
 	"vmalloc/internal/greedy"
 	"vmalloc/internal/hvp"
+	"vmalloc/internal/lp"
 	"vmalloc/internal/relax"
 	"vmalloc/internal/vp"
 )
@@ -85,14 +87,66 @@ func RRNZAlgo(seed int64) Algo {
 	}}
 }
 
+// basisCache hands the optimal simplex basis of one algorithm's relaxation
+// solve to the next algorithm running on the same instance. Entries are
+// removed when taken, so the cache stays bounded by the number of in-flight
+// instances.
+type basisCache struct {
+	mu    sync.Mutex
+	basis map[*core.Problem]*lp.Basis
+}
+
+func (c *basisCache) put(p *core.Problem, b *lp.Basis) {
+	if b == nil {
+		return
+	}
+	c.mu.Lock()
+	c.basis[p] = b
+	c.mu.Unlock()
+}
+
+func (c *basisCache) take(p *core.Problem) *lp.Basis {
+	c.mu.Lock()
+	b := c.basis[p]
+	delete(c.basis, p)
+	c.mu.Unlock()
+	return b
+}
+
+// LPRoster returns the RRND and RRNZ roster entries sharing a warm-start
+// cache: both round the same rational relaxation, so the RRNZ entry
+// re-solves each instance warm-started from the basis RRND left behind and
+// reconverges in a refactorization instead of two full simplex phases. This
+// is the roster the paper-scale LP tier runs.
+func LPRoster(seed int64) []Algo {
+	cache := &basisCache{basis: map[*core.Problem]*lp.Basis{}}
+	rrnd := Algo{Name: NameRRND, Run: func(p *core.Problem) *core.Result {
+		rel, err := relax.SolveRelaxed(p)
+		if err != nil {
+			return &core.Result{}
+		}
+		cache.put(p, rel.Basis)
+		return relax.RRND(p, rel, RoundingAttempts, rand.New(rand.NewSource(seed)))
+	}}
+	rrnz := Algo{Name: NameRRNZ, Run: func(p *core.Problem) *core.Result {
+		rel, err := relax.SolveRelaxedWarm(p, cache.take(p))
+		if err != nil {
+			return &core.Result{}
+		}
+		return relax.RRNZ(p, rel, RoundingAttempts, rand.New(rand.NewSource(seed)))
+	}}
+	return []Algo{rrnd, rrnz}
+}
+
 // HeuristicRoster returns the non-LP algorithms of Table 1 (METAGREEDY,
 // METAVP, METAHVP) plus METAHVPLIGHT.
 func HeuristicRoster(tol float64) []Algo {
 	return []Algo{MetaGreedyAlgo(), MetaVPAlgo(tol), MetaHVPAlgo(tol), MetaHVPLightAlgo(tol)}
 }
 
-// FullRoster additionally includes the LP-based RRND and RRNZ; suitable for
-// reduced instance sizes where the dense simplex is fast.
+// FullRoster additionally includes the LP-based RRND and RRNZ (sharing the
+// LPRoster warm-start cache); with the sparse simplex this runs at the
+// paper-scale LP tier, not just reduced sizes.
 func FullRoster(tol float64, seed int64) []Algo {
-	return append([]Algo{RRNDAlgo(seed), RRNZAlgo(seed)}, HeuristicRoster(tol)...)
+	return append(LPRoster(seed), HeuristicRoster(tol)...)
 }

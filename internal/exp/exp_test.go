@@ -301,3 +301,23 @@ func TestHardnessMonotoneOnRealSweep(t *testing.T) {
 		}
 	}
 }
+
+// The warm-start-sharing LP roster must produce exactly the results of the
+// independent cold RRND/RRNZ entries: basis reuse changes solve time, never
+// the relaxation optimum the rounding draws from.
+func TestLPRosterMatchesColdRoster(t *testing.T) {
+	grid := GridSpec{
+		Hosts: 4, Services: []int{10}, COVs: []float64{0.5},
+		Slacks: []float64{0.5}, Seeds: []int64{1, 2},
+	}
+	warm := (&Runner{}).Run(grid.Scenarios(), LPRoster(7))
+	cold := (&Runner{}).Run(grid.Scenarios(), []Algo{RRNDAlgo(7), RRNZAlgo(7)})
+	for _, name := range []string{NameRRND, NameRRNZ} {
+		for i := range warm.ByAlgo[name] {
+			w, c := warm.ByAlgo[name][i], cold.ByAlgo[name][i]
+			if w.Solved != c.Solved || math.Abs(w.MinYield-c.MinYield) > 1e-9 {
+				t.Fatalf("%s scenario %d: warm %+v vs cold %+v", name, i, w, c)
+			}
+		}
+	}
+}

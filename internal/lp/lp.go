@@ -58,12 +58,21 @@ func (s Status) String() string {
 }
 
 // Problem is a linear program in the solver's canonical form: maximize Obj·x
-// subject to the rows of A, with every variable bounded to [0, Upper[j]].
+// subject to the rows of the constraint matrix, with every variable bounded
+// to [Lower[j], Upper[j]] (Lower defaults to 0).
+//
+// The constraint matrix is given either dense (A, one row per constraint) or
+// column-sparse (Cols); exactly one of the two may be non-nil. The sparse
+// form is what internal/relax emits and what SolveSparse consumes without
+// densification.
 type Problem struct {
 	// Obj holds the objective coefficients (length = number of variables).
 	Obj []float64
-	// A holds one dense coefficient row per constraint.
+	// A holds one dense coefficient row per constraint. Nil when Cols is set.
 	A [][]float64
+	// Cols holds the constraint matrix in compressed-sparse-column form.
+	// Nil when A is set.
+	Cols *CSC
 	// Sense holds the relational operator of each row.
 	Sense []Sense
 	// B holds the right-hand side of each row.
@@ -71,13 +80,23 @@ type Problem struct {
 	// Upper holds per-variable upper bounds; math.Inf(1) means unbounded
 	// above. A nil Upper means all variables are unbounded above.
 	Upper []float64
+	// Lower holds per-variable lower bounds; nil means all zero. Lower
+	// bounds must be finite and not exceed the matching upper bound. The
+	// solvers handle them by variable shifting, so nonzero lower bounds do
+	// not inflate the row count (internal/milp fixes binaries to 1 this way).
+	Lower []float64
 }
 
 // NumVars returns the number of structural variables.
 func (p *Problem) NumVars() int { return len(p.Obj) }
 
 // NumRows returns the number of constraints.
-func (p *Problem) NumRows() int { return len(p.A) }
+func (p *Problem) NumRows() int {
+	if p.Cols != nil {
+		return p.Cols.M
+	}
+	return len(p.A)
+}
 
 // Validate checks dimensional consistency.
 func (p *Problem) Validate() error {
@@ -85,22 +104,51 @@ func (p *Problem) Validate() error {
 	if n == 0 {
 		return errors.New("lp: no variables")
 	}
-	if len(p.B) != len(p.A) || len(p.Sense) != len(p.A) {
-		return fmt.Errorf("lp: rows mismatch: |A|=%d |B|=%d |Sense|=%d", len(p.A), len(p.B), len(p.Sense))
-	}
-	for i, row := range p.A {
-		if len(row) != n {
-			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+	if p.Cols != nil {
+		if p.A != nil {
+			return errors.New("lp: both A and Cols set; supply exactly one constraint matrix")
+		}
+		if err := p.Cols.validate(); err != nil {
+			return err
+		}
+		if p.Cols.N != n {
+			return fmt.Errorf("lp: Cols has %d columns, want %d", p.Cols.N, n)
+		}
+		if len(p.B) != p.Cols.M || len(p.Sense) != p.Cols.M {
+			return fmt.Errorf("lp: rows mismatch: |Cols|=%d |B|=%d |Sense|=%d", p.Cols.M, len(p.B), len(p.Sense))
+		}
+	} else {
+		if len(p.B) != len(p.A) || len(p.Sense) != len(p.A) {
+			return fmt.Errorf("lp: rows mismatch: |A|=%d |B|=%d |Sense|=%d", len(p.A), len(p.B), len(p.Sense))
+		}
+		for i, row := range p.A {
+			if len(row) != n {
+				return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+			}
 		}
 	}
 	if p.Upper != nil && len(p.Upper) != n {
 		return fmt.Errorf("lp: |Upper|=%d, want %d", len(p.Upper), n)
 	}
-	if p.Upper != nil {
-		for j, u := range p.Upper {
-			if u < 0 || math.IsNaN(u) {
-				return fmt.Errorf("lp: invalid upper bound %g for variable %d", u, j)
-			}
+	if p.Lower != nil && len(p.Lower) != n {
+		return fmt.Errorf("lp: |Lower|=%d, want %d", len(p.Lower), n)
+	}
+	for j := 0; j < n; j++ {
+		l, u := 0.0, math.Inf(1)
+		if p.Lower != nil {
+			l = p.Lower[j]
+		}
+		if p.Upper != nil {
+			u = p.Upper[j]
+		}
+		if math.IsNaN(u) || u < l {
+			return fmt.Errorf("lp: invalid bounds [%g,%g] for variable %d", l, u, j)
+		}
+		if math.IsInf(l, 0) || math.IsNaN(l) {
+			return fmt.Errorf("lp: invalid lower bound %g for variable %d", l, j)
+		}
+		if p.Lower == nil && u < 0 {
+			return fmt.Errorf("lp: invalid upper bound %g for variable %d", u, j)
 		}
 	}
 	return nil
@@ -119,8 +167,18 @@ type Solution struct {
 	// Objective = Duals·B + Σ_j BoundDuals[j]·Upper[j].
 	Duals []float64
 	// BoundDuals holds the dual value of each variable's upper bound
-	// (nonzero only for variables at their upper bound).
+	// (nonzero only for variables at their upper bound). For problems with
+	// nonzero lower bounds the strong-duality identity additionally involves
+	// lower-bound duals, which are not reported.
 	BoundDuals []float64
+	// Basis is the optimal simplex basis, populated by the sparse/revised
+	// solvers when Status == Optimal. Pass it to SolveSparseWarm to
+	// warm-start the next solve of a same-shaped problem.
+	Basis *Basis
+	// WarmStarted reports whether a supplied warm basis was actually used
+	// (a stale or mismatched basis makes the solver fall back to a cold
+	// start rather than fail).
+	WarmStarted bool
 }
 
 const (
@@ -157,10 +215,20 @@ type tableau struct {
 	maxIter int
 }
 
-// Solve maximizes the problem with the two-phase bounded simplex method.
+// Solve maximizes the problem with the two-phase bounded simplex method on a
+// dense tableau. Column-sparse problems are densified first; prefer
+// SolveSparse for the large sparse relaxations produced by internal/relax.
 func Solve(p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	orig := p
+	p, lower := p.shiftLower()
+	if p.Cols != nil {
+		q := *p
+		q.A = p.Cols.Dense()
+		q.Cols = nil
+		p = &q
 	}
 	tb := newTableau(p)
 
@@ -198,7 +266,75 @@ func Solve(p *Problem) (*Solution, error) {
 	}
 	sol.Duals = tb.duals()
 	sol.BoundDuals = tb.boundDuals()
+	unshiftSolution(sol, orig.Obj, lower)
 	return sol, nil
+}
+
+// shiftLower returns an equivalent problem whose lower bounds are all zero,
+// plus the per-variable offsets applied (nil when no shifting was needed).
+// Substituting x = l + x' leaves the matrix untouched: only B and Upper move.
+func (p *Problem) shiftLower() (*Problem, []float64) {
+	if p.Lower == nil {
+		return p, nil
+	}
+	shifted := false
+	for _, l := range p.Lower {
+		if l != 0 {
+			shifted = true
+			break
+		}
+	}
+	if !shifted {
+		q := *p
+		q.Lower = nil
+		return &q, nil
+	}
+	n := p.NumVars()
+	q := *p
+	q.Lower = nil
+	q.Upper = make([]float64, n)
+	for j := 0; j < n; j++ {
+		u := math.Inf(1)
+		if p.Upper != nil {
+			u = p.Upper[j]
+		}
+		q.Upper[j] = u - p.Lower[j] // Inf stays Inf
+	}
+	q.B = append([]float64(nil), p.B...)
+	if p.Cols != nil {
+		c := p.Cols
+		for j := 0; j < n; j++ {
+			l := p.Lower[j]
+			if l == 0 {
+				continue
+			}
+			for k := c.ColPtr[j]; k < c.ColPtr[j+1]; k++ {
+				q.B[c.RowIdx[k]] -= c.Val[k] * l
+			}
+		}
+	} else {
+		for i, row := range p.A {
+			for j, a := range row {
+				if l := p.Lower[j]; l != 0 && a != 0 {
+					q.B[i] -= a * l
+				}
+			}
+		}
+	}
+	return &q, p.Lower
+}
+
+// unshiftSolution translates a solution of the lower-shifted problem back to
+// the original variable space. Row duals and upper-bound duals are unchanged
+// by the shift.
+func unshiftSolution(sol *Solution, obj, lower []float64) {
+	if lower == nil || sol.X == nil {
+		return
+	}
+	for j := range sol.X {
+		sol.X[j] += lower[j]
+		sol.Objective += obj[j] * lower[j]
+	}
 }
 
 // duals recovers the constraint duals y = c_B·B^{-1} from the reduced costs

@@ -9,29 +9,39 @@ import (
 // inverse is maintained, so memory is O(m² + nnz) instead of the dense
 // tableau's O(m·(n+m)). Results match Solve (both are exact); the revised
 // path wins on the large sparse relaxations produced by internal/relax.
+// It is SolveSparse without a warm basis.
 func SolveRevised(p *Problem) (*Solution, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	rv := newRevised(p)
+	return SolveSparseWarm(p, nil)
+}
 
-	if rv.needPhase1() {
-		for i := 0; i < rv.m; i++ {
-			rv.cost[rv.nReal+i] = -1
-		}
-		st := rv.iterate()
-		if st == IterLimit {
-			return &Solution{Status: IterLimit, Iters: rv.iters}, nil
-		}
-		if rv.phase1Objective() < -feasTol {
-			return &Solution{Status: Infeasible, Iters: rv.iters}, nil
-		}
-		rv.driveOutArtificials()
+// runRevised solves a validated, lower-shifted problem with the revised
+// simplex, warm-starting from warm when it installs cleanly (see
+// installBasis) and cold-starting through phase 1 otherwise.
+func runRevised(p *Problem, warm *Basis) *Solution {
+	rv := newRevised(p)
+	warmed := warm != nil && rv.installBasis(warm)
+	if warm != nil && !warmed {
+		rv = newRevised(p) // a failed install leaves partial state behind
 	}
-	for j := rv.nReal; j < rv.n; j++ {
-		rv.banned[j] = true
-		rv.upper[j] = 0
-		rv.cost[j] = 0
+	if !warmed {
+		if rv.needPhase1() {
+			for i := 0; i < rv.m; i++ {
+				rv.cost[rv.nReal+i] = -1
+			}
+			st := rv.iterate()
+			if st == IterLimit {
+				return &Solution{Status: IterLimit, Iters: rv.iters}
+			}
+			if rv.phase1Objective() < -feasTol {
+				return &Solution{Status: Infeasible, Iters: rv.iters}
+			}
+			rv.driveOutArtificials()
+		}
+		for j := rv.nReal; j < rv.n; j++ {
+			rv.banned[j] = true
+			rv.upper[j] = 0
+			rv.cost[j] = 0
+		}
 	}
 	for j := 0; j < rv.nStruct; j++ {
 		rv.cost[j] = p.Obj[j]
@@ -41,12 +51,12 @@ func SolveRevised(p *Problem) (*Solution, error) {
 	}
 
 	st := rv.iterate()
-	sol := &Solution{Status: st, Iters: rv.iters}
+	sol := &Solution{Status: st, Iters: rv.iters, WarmStarted: warmed}
 	if st != Optimal {
-		return sol, nil
+		return sol
 	}
 	x := rv.extract()
-	sol.X = x[:rv.nStruct]
+	sol.X = x[:rv.nStruct:rv.nStruct]
 	for j, c := range p.Obj {
 		sol.Objective += c * sol.X[j]
 	}
@@ -63,7 +73,8 @@ func SolveRevised(p *Problem) (*Solution, error) {
 			}
 		}
 	}
-	return sol, nil
+	sol.Basis = rv.captureBasis()
+	return sol
 }
 
 // sparseCol is one column of the equality-form constraint matrix.
@@ -72,7 +83,9 @@ type sparseCol struct {
 	vals []float64
 }
 
-// revised is the revised-simplex state.
+// revised is the revised-simplex state. The basis is represented by a
+// sparse LU factorization plus an eta file (see factor.go), never by an
+// explicit inverse.
 type revised struct {
 	m, n    int
 	nStruct int
@@ -80,17 +93,32 @@ type revised struct {
 	cols    []sparseCol // all n columns, sign-normalized
 	b       []float64   // sign-normalized rhs
 	rowSign []float64
-	binv    [][]float64 // dense basis inverse
-	xB      []float64   // values of basic variables per row
+	lu      *basisLU
+	xB      []float64 // values of basic variables per row
 	basis   []int
 	inBasis []int // column -> row, or -1
 	status  []varStatus
 	upper   []float64
 	cost    []float64 // raw costs of the current phase
 	banned  []bool
-	iters   int
-	maxIter int
-	scratch []float64
+	broken  bool // a refactorization failed; abort with IterLimit
+
+	// d holds the reduced costs, maintained incrementally across pivots via
+	// the pivot row (alpha = rho·A computed row-wise through the CSR mirror)
+	// and recomputed exactly at refactorizations and before any optimality
+	// claim, so pricing drift can steer pivot choice but never the result.
+	d []float64
+	// CSR mirror of the sign-normalized equality-form matrix (structural,
+	// slack and artificial columns), for row-wise pricing.
+	rowPtr    []int
+	rowCol    []int
+	rowVal    []float64
+	alpha     []float64 // scatter scratch for the pivot-row coefficients
+	iters     int
+	maxIter   int
+	scratch   []float64
+	yScratch  []float64
+	cbScratch []float64
 }
 
 func newRevised(p *Problem) *revised {
@@ -110,19 +138,23 @@ func newRevised(p *Problem) *revised {
 
 	rv := &revised{
 		m: m, n: n, nStruct: ns, nReal: nReal,
-		cols:    make([]sparseCol, n),
-		b:       make([]float64, m),
-		rowSign: make([]float64, m),
-		binv:    make([][]float64, m),
-		xB:      make([]float64, m),
-		basis:   make([]int, m),
-		inBasis: make([]int, n),
-		status:  make([]varStatus, n),
-		upper:   make([]float64, n),
-		cost:    make([]float64, n),
-		banned:  make([]bool, n),
-		maxIter: 200 * (m + n + 10),
-		scratch: make([]float64, m),
+		cols:      make([]sparseCol, n),
+		b:         make([]float64, m),
+		rowSign:   make([]float64, m),
+		lu:        newBasisLU(m),
+		xB:        make([]float64, m),
+		basis:     make([]int, m),
+		inBasis:   make([]int, n),
+		status:    make([]varStatus, n),
+		upper:     make([]float64, n),
+		cost:      make([]float64, n),
+		banned:    make([]bool, n),
+		d:         make([]float64, n),
+		alpha:     make([]float64, n),
+		maxIter:   200 * (m + n + 10),
+		scratch:   make([]float64, m),
+		yScratch:  make([]float64, m),
+		cbScratch: make([]float64, m),
 	}
 	for j := range rv.inBasis {
 		rv.inBasis[j] = -1
@@ -138,7 +170,8 @@ func newRevised(p *Problem) *revised {
 		rv.upper[j] = math.Inf(1)
 	}
 
-	// Build sign-normalized sparse columns.
+	// Build sign-normalized sparse columns. CSC input shares its row-index
+	// slices (never mutated); dense rows are scanned column by column.
 	sign := make([]float64, m)
 	for i := 0; i < m; i++ {
 		sign[i] = 1
@@ -148,15 +181,31 @@ func newRevised(p *Problem) *revised {
 		rv.rowSign[i] = sign[i]
 		rv.b[i] = sign[i] * p.B[i]
 	}
-	for j := 0; j < ns; j++ {
-		var c sparseCol
-		for i := 0; i < m; i++ {
-			if v := p.A[i][j]; v != 0 {
-				c.rows = append(c.rows, i)
-				c.vals = append(c.vals, sign[i]*v)
+	if p.Cols != nil {
+		csc := p.Cols
+		for j := 0; j < ns; j++ {
+			lo, hi := csc.ColPtr[j], csc.ColPtr[j+1]
+			if lo == hi {
+				continue
 			}
+			rows := csc.RowIdx[lo:hi:hi]
+			vals := make([]float64, hi-lo)
+			for k, r := range rows {
+				vals[k] = sign[r] * csc.Val[lo+k]
+			}
+			rv.cols[j] = sparseCol{rows: rows, vals: vals}
 		}
-		rv.cols[j] = c
+	} else {
+		for j := 0; j < ns; j++ {
+			var c sparseCol
+			for i := 0; i < m; i++ {
+				if v := p.A[i][j]; v != 0 {
+					c.rows = append(c.rows, i)
+					c.vals = append(c.vals, sign[i]*v)
+				}
+			}
+			rv.cols[j] = c
+		}
 	}
 	for i := 0; i < m; i++ {
 		if sj := slackOf[i]; sj >= 0 {
@@ -171,8 +220,6 @@ func newRevised(p *Problem) *revised {
 
 	// Initial basis: slack when its coefficient is +1, else artificial.
 	for i := 0; i < m; i++ {
-		rv.binv[i] = make([]float64, m)
-		rv.binv[i][i] = 1
 		rv.xB[i] = rv.b[i]
 		col := nReal + i
 		if sj := slackOf[i]; sj >= 0 && rv.cols[sj].vals[0] == 1 {
@@ -183,7 +230,48 @@ func newRevised(p *Problem) *revised {
 		rv.inBasis[col] = i
 		rv.status[col] = basic
 	}
+	// The initial basis is all singleton ±1 columns; factorization is
+	// trivial and cannot fail.
+	rv.lu.factorize(rv.basisCols())
+	rv.buildCSR()
 	return rv
+}
+
+// buildCSR mirrors the sign-normalized columns row-wise for pricing.
+func (rv *revised) buildCSR() {
+	counts := make([]int, rv.m+1)
+	nnz := 0
+	for j := range rv.cols {
+		for _, r := range rv.cols[j].rows {
+			counts[r+1]++
+			nnz++
+		}
+	}
+	rv.rowPtr = counts
+	for i := 0; i < rv.m; i++ {
+		rv.rowPtr[i+1] += rv.rowPtr[i]
+	}
+	rv.rowCol = make([]int, nnz)
+	rv.rowVal = make([]float64, nnz)
+	next := append([]int(nil), rv.rowPtr[:rv.m]...)
+	for j := range rv.cols {
+		c := &rv.cols[j]
+		for k, r := range c.rows {
+			at := next[r]
+			next[r]++
+			rv.rowCol[at] = j
+			rv.rowVal[at] = c.vals[k]
+		}
+	}
+}
+
+// basisCols collects pointers to the current basis columns, slot by slot.
+func (rv *revised) basisCols() []*sparseCol {
+	bc := make([]*sparseCol, rv.m)
+	for i, col := range rv.basis {
+		bc[i] = &rv.cols[col]
+	}
+	return bc
 }
 
 func (rv *revised) needPhase1() bool {
@@ -205,20 +293,16 @@ func (rv *revised) phase1Objective() float64 {
 	return s
 }
 
-// dualVector returns y = c_B^T · B^{-1}.
+// dualVector returns y = c_B^T · B^{-1} (a sparse BTRAN through the LU
+// factors and eta file). The returned slice is scratch storage overwritten
+// by the next call.
 func (rv *revised) dualVector() []float64 {
-	y := make([]float64, rv.m)
-	for i := 0; i < rv.m; i++ {
-		cb := rv.cost[rv.basis[i]]
-		if cb == 0 {
-			continue
-		}
-		row := rv.binv[i]
-		for k := 0; k < rv.m; k++ {
-			y[k] += cb * row[k]
-		}
+	cb := rv.cbScratch
+	for i, b := range rv.basis {
+		cb[i] = rv.cost[b]
 	}
-	return y
+	rv.lu.btran(rv.yScratch, cb)
+	return rv.yScratch
 }
 
 // reducedCost computes d_j = c_j - y·A_j.
@@ -231,41 +315,49 @@ func (rv *revised) reducedCost(j int, y []float64) float64 {
 	return d
 }
 
-// ftran computes w = B^{-1} · A_j into rv.scratch.
+// ftran computes w = B^{-1} · A_j into rv.scratch (a sparse FTRAN through
+// the LU factors and eta file).
 func (rv *revised) ftran(j int) []float64 {
-	w := rv.scratch
-	for i := range w {
-		w[i] = 0
-	}
-	c := &rv.cols[j]
-	for k, r := range c.rows {
-		v := c.vals[k]
-		for i := 0; i < rv.m; i++ {
-			w[i] += rv.binv[i][r] * v
-		}
-	}
-	return w
+	rv.lu.ftran(rv.scratch, &rv.cols[j])
+	return rv.scratch
 }
 
 func (rv *revised) iterate() Status {
+	rv.priceAll()
 	stall := 0
 	bland := false
 	for ; rv.iters < rv.maxIter; rv.iters++ {
+		if rv.broken {
+			return IterLimit
+		}
 		if rv.iters%256 == 255 {
 			rv.refreshXB() // limit incremental drift
 		}
-		y := rv.dualVector()
-		enter, d := rv.chooseEntering(y, bland)
-		if enter < 0 {
-			return Optimal
+		if bland {
+			// Bland's anti-cycling guarantee needs exact reduced-cost
+			// signs, not incrementally maintained ones.
+			rv.priceAll()
 		}
+		enter := rv.chooseEntering(bland)
+		if enter < 0 {
+			// Confirm against exact prices: the incremental reduced costs
+			// may have drifted since the last refactorization.
+			rv.priceAll()
+			if enter = rv.chooseEntering(bland); enter < 0 {
+				return Optimal
+			}
+		}
+		dq := rv.d[enter]
 		w := rv.ftran(enter)
 		row, leaveTo, delta := rv.ratioTest(enter, w)
 		if row == -2 {
 			return Unbounded
 		}
+		if row >= 0 {
+			rv.updateDuals(enter, row, w)
+		}
 		rv.apply(enter, w, row, leaveTo, delta)
-		if math.Abs(d)*delta > 1e-12 {
+		if math.Abs(dq)*delta > 1e-12 {
 			stall = 0
 			bland = false
 		} else if stall++; stall > 2*(rv.m+10) {
@@ -275,13 +367,65 @@ func (rv *revised) iterate() Status {
 	return IterLimit
 }
 
-func (rv *revised) chooseEntering(y []float64, bland bool) (int, float64) {
-	best, bestScore, bestD := -1, costTol, 0.0
+// priceAll recomputes every reduced cost exactly from y = c_B·B^{-1}.
+func (rv *revised) priceAll() {
+	y := rv.dualVector()
+	for j := 0; j < rv.n; j++ {
+		if rv.status[j] == basic {
+			rv.d[j] = 0
+		} else {
+			rv.d[j] = rv.reducedCost(j, y)
+		}
+	}
+}
+
+// updateDuals carries the reduced costs across the coming pivot (enter
+// becomes basic in row) using the pivot row of B^{-1}A: rho = e_rowᵀB^{-1}
+// by BTRAN, then alpha = rhoᵀA row-wise through the CSR mirror, touching
+// only the columns of rows where rho is nonzero. Must run before the
+// pivot's eta is appended.
+func (rv *revised) updateDuals(enter, row int, w []float64) {
+	ratio := rv.d[enter] / w[row]
+	if ratio != 0 {
+		e := rv.cbScratch
+		for i := range e {
+			e[i] = 0
+		}
+		e[row] = 1
+		rho := rv.yScratch
+		rv.lu.btran(rho, e)
+		for i := 0; i < rv.m; i++ {
+			ri := rho[i]
+			if ri == 0 {
+				continue
+			}
+			for k := rv.rowPtr[i]; k < rv.rowPtr[i+1]; k++ {
+				rv.alpha[rv.rowCol[k]] += ri * rv.rowVal[k]
+			}
+		}
+		for i := 0; i < rv.m; i++ {
+			if rho[i] == 0 {
+				continue
+			}
+			for k := rv.rowPtr[i]; k < rv.rowPtr[i+1]; k++ {
+				j := rv.rowCol[k]
+				if a := rv.alpha[j]; a != 0 {
+					rv.d[j] -= ratio * a
+					rv.alpha[j] = 0
+				}
+			}
+		}
+	}
+	rv.d[enter] = 0
+}
+
+func (rv *revised) chooseEntering(bland bool) int {
+	best, bestScore := -1, costTol
 	for j := 0; j < rv.n; j++ {
 		if rv.status[j] == basic || rv.banned[j] || rv.upper[j] == 0 {
 			continue
 		}
-		d := rv.reducedCost(j, y)
+		d := rv.d[j]
 		var score float64
 		if rv.status[j] == atLower && d > costTol {
 			score = d
@@ -291,13 +435,13 @@ func (rv *revised) chooseEntering(y []float64, bland bool) (int, float64) {
 			continue
 		}
 		if bland {
-			return j, d
+			return j
 		}
 		if score > bestScore {
-			best, bestScore, bestD = j, score, d
+			best, bestScore = j, score
 		}
 	}
-	return best, bestD
+	return best
 }
 
 // ratioTest mirrors the dense solver's bounded ratio test over the computed
@@ -373,31 +517,28 @@ func (rv *revised) apply(enter int, w []float64, row int, leaveTo varStatus, del
 	rv.status[old] = leaveTo
 	rv.inBasis[old] = -1
 
-	// Update the basis inverse: eliminate w from all rows but the pivot row.
-	piv := w[row]
-	br := rv.binv[row]
-	inv := 1 / piv
-	for k := 0; k < rv.m; k++ {
-		br[k] *= inv
-	}
-	for i := 0; i < rv.m; i++ {
-		if i == row {
-			continue
-		}
-		f := w[i]
-		if f == 0 {
-			continue
-		}
-		bi := rv.binv[i]
-		for k := 0; k < rv.m; k++ {
-			bi[k] -= f * br[k]
-		}
-	}
+	// Record the basis change as an eta; refactorize once the file grows.
+	rv.lu.appendEta(row, w)
 
 	rv.basis[row] = enter
 	rv.inBasis[enter] = row
 	rv.status[enter] = basic
 	rv.xB[row] = newVal
+	if rv.lu.nEtas() >= refactorEvery {
+		rv.refactorize()
+	}
+}
+
+// refactorize rebuilds the LU factors from the current basis and resets the
+// incrementally maintained reduced costs against the fresh factors. A
+// failure (numerically singular basis, which pivot-size guarantees should
+// prevent) marks the solver broken so iterate aborts instead of diverging.
+func (rv *revised) refactorize() {
+	if !rv.lu.factorize(rv.basisCols()) {
+		rv.broken = true
+		return
+	}
+	rv.priceAll()
 }
 
 func (rv *revised) driveOutArtificials() {
@@ -428,33 +569,17 @@ func (rv *revised) driveOutArtificials() {
 		if rv.status[piv] == atUpper {
 			val = rv.upper[piv]
 		}
-		copy(rv.scratch, wPiv)
 		old := rv.basis[i]
 		rv.status[old] = atLower
 		rv.inBasis[old] = -1
-		pivV := wPiv[i]
-		br := rv.binv[i]
-		inv := 1 / pivV
-		for k := 0; k < rv.m; k++ {
-			br[k] *= inv
-		}
-		for r := 0; r < rv.m; r++ {
-			if r == i {
-				continue
-			}
-			f := wPiv[r]
-			if f == 0 {
-				continue
-			}
-			bi := rv.binv[r]
-			for k := 0; k < rv.m; k++ {
-				bi[k] -= f * br[k]
-			}
-		}
+		rv.lu.appendEta(i, wPiv)
 		rv.basis[i] = piv
 		rv.inBasis[piv] = i
 		rv.status[piv] = basic
 		rv.xB[i] = val
+		if rv.lu.nEtas() >= refactorEvery {
+			rv.refactorize()
+		}
 	}
 }
 
@@ -472,12 +597,9 @@ func (rv *revised) refreshXB() {
 			}
 		}
 	}
+	rv.lu.ftranDense(rv.scratch, r)
 	for i := 0; i < rv.m; i++ {
-		s := 0.0
-		row := rv.binv[i]
-		for k := 0; k < rv.m; k++ {
-			s += row[k] * r[k]
-		}
+		s := rv.scratch[i]
 		if s < 0 && s > -feasTol {
 			s = 0
 		}

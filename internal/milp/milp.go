@@ -72,11 +72,20 @@ type Options struct {
 	// Gap is the relative optimality gap at which search stops early
 	// (0 = prove exact optimality).
 	Gap float64
+	// DisableWarmStart turns off basis reuse between parent and child
+	// nodes. Child relaxations differ from their parent only in variable
+	// bounds, so by default each node is solved warm-started from its
+	// parent's optimal basis (the solver falls back to a cold start when
+	// the stale basis no longer fits).
+	DisableWarmStart bool
 }
 
 type node struct {
 	fix0, fix1 []int
 	bound      float64
+	// warm is the optimal basis of the parent relaxation, shared by both
+	// children; nil at the root or when warm starts are disabled.
+	warm *lp.Basis
 }
 
 type nodeQueue []*node
@@ -94,8 +103,9 @@ func (q *nodeQueue) Pop() interface{} {
 }
 
 // Solve runs best-first branch and bound. The relaxation at each node is the
-// LP with branched binaries fixed via bound changes (fix to 0) or appended
-// equality rows (fix to 1).
+// LP with branched binaries fixed purely via bound changes (Upper = 0 for a
+// 0-fix, Lower = Upper = 1 for a 1-fix), so every node shares the base
+// constraint matrix and can be warm-started from its parent's basis.
 func Solve(p *Problem, opts *Options) (*Solution, error) {
 	if opts == nil {
 		opts = &Options{}
@@ -117,6 +127,14 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 			return nil, fmt.Errorf("milp: binary index %d out of range", j)
 		}
 		isBin[j] = true
+	}
+
+	// Fixing binaries via bound changes keeps every node's LP the same
+	// shape, which is what makes parent bases reusable; sparsify the matrix
+	// once so node solves share one CSC instead of copying rows.
+	base := p.LP
+	if base.Cols == nil {
+		base = *base.Sparsify()
 	}
 
 	sol := &Solution{Status: NodeLimit, Objective: math.Inf(-1), Bound: math.Inf(1)}
@@ -141,7 +159,7 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 			sol.Bound = nd.bound
 			return sol, nil
 		}
-		rel, err := solveRelaxation(&p.LP, nd)
+		rel, err := solveRelaxation(&base, nd)
 		sol.Nodes++
 		if err != nil {
 			return nil, err
@@ -167,8 +185,12 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 			}
 			continue
 		}
-		lo := &node{fix0: append(append([]int(nil), nd.fix0...), branch), fix1: nd.fix1, bound: rel.Objective}
-		hi := &node{fix0: nd.fix0, fix1: append(append([]int(nil), nd.fix1...), branch), bound: rel.Objective}
+		var warm *lp.Basis
+		if !opts.DisableWarmStart {
+			warm = rel.Basis
+		}
+		lo := &node{fix0: append(append([]int(nil), nd.fix0...), branch), fix1: nd.fix1, bound: rel.Objective, warm: warm}
+		hi := &node{fix0: nd.fix0, fix1: append(append([]int(nil), nd.fix1...), branch), bound: rel.Objective, warm: warm}
 		heap.Push(q, lo)
 		heap.Push(q, hi)
 	}
@@ -182,14 +204,12 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 	return sol, nil
 }
 
-// solveRelaxation builds and solves the node LP.
+// solveRelaxation solves the node LP: the base problem with branched
+// binaries fixed purely through bound changes (0 via Upper, 1 via
+// Lower+Upper), so every node shares the base constraint matrix and the
+// parent basis can warm-start the child.
 func solveRelaxation(base *lp.Problem, nd *node) (*lp.Solution, error) {
-	q := lp.Problem{
-		Obj:   base.Obj,
-		A:     base.A,
-		Sense: base.Sense,
-		B:     base.B,
-	}
+	q := *base
 	// Copy bounds so fixings do not leak across nodes.
 	upper := make([]float64, base.NumVars())
 	if base.Upper != nil {
@@ -204,20 +224,21 @@ func solveRelaxation(base *lp.Problem, nd *node) (*lp.Solution, error) {
 	}
 	q.Upper = upper
 	if len(nd.fix1) > 0 {
-		// Append x_j == 1 rows.
-		q.A = append(append([][]float64(nil), base.A...), nil)
-		q.A = q.A[:len(base.A)]
-		q.Sense = append([]lp.Sense(nil), base.Sense...)
-		q.B = append([]float64(nil), base.B...)
-		for _, j := range nd.fix1 {
-			row := make([]float64, base.NumVars())
-			row[j] = 1
-			q.A = append(q.A, row)
-			q.Sense = append(q.Sense, lp.EQ)
-			q.B = append(q.B, 1)
+		lower := make([]float64, base.NumVars())
+		if base.Lower != nil {
+			copy(lower, base.Lower)
 		}
+		for _, j := range nd.fix1 {
+			if upper[j] < 1 {
+				// The variable cannot reach 1: the node is infeasible.
+				return &lp.Solution{Status: lp.Infeasible}, nil
+			}
+			lower[j] = 1
+			upper[j] = 1
+		}
+		q.Lower = lower
 	}
-	return lp.Solve(&q)
+	return lp.SolveSparseWarm(&q, nd.warm)
 }
 
 // pickBranchVar returns the most fractional binary variable, or -1 if all

@@ -148,6 +148,44 @@ func bruteForceKnapsack(obj, w []float64, cap float64) float64 {
 	return best
 }
 
+// Warm-started and cold branch-and-bound must find the same optimum: basis
+// reuse changes the per-node simplex trajectory, never the result.
+func TestWarmStartMatchesColdSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 30; iter++ {
+		n := 4 + rng.Intn(6)
+		obj := make([]float64, n)
+		w := make([]float64, n)
+		up := make([]float64, n)
+		bins := make([]int, n)
+		for j := 0; j < n; j++ {
+			obj[j] = rng.Float64() * 10
+			w[j] = rng.Float64() * 5
+			up[j] = 1
+			bins[j] = j
+		}
+		p := &Problem{
+			LP: lp.Problem{
+				Obj: obj, A: [][]float64{w}, Sense: []lp.Sense{lp.LE},
+				B: []float64{rng.Float64() * 10}, Upper: up,
+			},
+			Binary: bins,
+		}
+		warm, err := Solve(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := Solve(p, &Options{DisableWarmStart: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Status != cold.Status || math.Abs(warm.Objective-cold.Objective) > 1e-6 {
+			t.Fatalf("iter %d: warm %v/%.6f vs cold %v/%.6f",
+				iter, warm.Status, warm.Objective, cold.Status, cold.Objective)
+		}
+	}
+}
+
 func TestRandomKnapsacksAgainstBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for iter := 0; iter < 60; iter++ {

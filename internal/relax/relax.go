@@ -35,7 +35,11 @@ func (enc *Encoding) YVar(j, h int) int { return enc.J*enc.H + j*enc.H + h }
 // MinYieldVar returns the variable index of Y.
 func (enc *Encoding) MinYieldVar() int { return 2 * enc.J * enc.H }
 
-// Encode builds the LP for problem p. Elementary rows that can never bind
+// Encode builds the LP for problem p, emitting the constraint matrix
+// directly in compressed-sparse-column form: every row touches only a
+// handful of the e_jh/y_jh variables, so the sparse encoding is what lets
+// lp.SolveSparse run the full-scale relaxation without materializing
+// O(rows·vars) dense storage. Elementary rows that can never bind
 // (requirement plus need within elementary capacity) are omitted; elementary
 // requirements that exceed a node's elementary capacity force e_jh = 0 via a
 // bound row.
@@ -52,27 +56,27 @@ func Encode(p *core.Problem) *Encoding {
 	}
 	prob.Obj[2*J*H] = 1 // maximize Y
 
-	addRow := func(row []float64, s lp.Sense, b float64) {
-		prob.A = append(prob.A, row)
+	mat := lp.NewSparseBuilder(n)
+	row := 0
+	endRow := func(s lp.Sense, b float64) {
 		prob.Sense = append(prob.Sense, s)
 		prob.B = append(prob.B, b)
+		row++
 	}
 
 	// (3) each service on exactly one node.
 	for j := 0; j < J; j++ {
-		row := make([]float64, n)
 		for h := 0; h < H; h++ {
-			row[enc.EVar(j, h)] = 1
+			mat.Add(row, enc.EVar(j, h), 1)
 		}
-		addRow(row, lp.EQ, 1)
+		endRow(lp.EQ, 1)
 	}
 	// (4) y_jh <= e_jh.
 	for j := 0; j < J; j++ {
 		for h := 0; h < H; h++ {
-			row := make([]float64, n)
-			row[enc.YVar(j, h)] = 1
-			row[enc.EVar(j, h)] = -1
-			addRow(row, lp.LE, 0)
+			mat.Add(row, enc.YVar(j, h), 1)
+			mat.Add(row, enc.EVar(j, h), -1)
+			endRow(lp.LE, 0)
 		}
 	}
 	// (5) elementary capacities: e_jh*r^e_jd + y_jh*n^e_jd <= c^e_hd.
@@ -85,10 +89,9 @@ func Encode(p *core.Problem) *Encoding {
 				if re+ne <= ce {
 					continue // can never bind with e,y in [0,1]
 				}
-				row := make([]float64, n)
-				row[enc.EVar(j, h)] = re
-				row[enc.YVar(j, h)] = ne
-				addRow(row, lp.LE, ce)
+				mat.Add(row, enc.EVar(j, h), re)
+				mat.Add(row, enc.YVar(j, h), ne)
+				endRow(lp.LE, ce)
 			}
 		}
 	}
@@ -96,23 +99,22 @@ func Encode(p *core.Problem) *Encoding {
 	for h := 0; h < H; h++ {
 		nd := &p.Nodes[h]
 		for d := 0; d < D; d++ {
-			row := make([]float64, n)
 			for j := 0; j < J; j++ {
-				row[enc.EVar(j, h)] = p.Services[j].ReqAgg[d]
-				row[enc.YVar(j, h)] = p.Services[j].NeedAgg[d]
+				mat.Add(row, enc.EVar(j, h), p.Services[j].ReqAgg[d])
+				mat.Add(row, enc.YVar(j, h), p.Services[j].NeedAgg[d])
 			}
-			addRow(row, lp.LE, nd.Aggregate[d])
+			endRow(lp.LE, nd.Aggregate[d])
 		}
 	}
 	// (7) sum_h y_jh >= Y.
 	for j := 0; j < J; j++ {
-		row := make([]float64, n)
 		for h := 0; h < H; h++ {
-			row[enc.YVar(j, h)] = 1
+			mat.Add(row, enc.YVar(j, h), 1)
 		}
-		row[enc.MinYieldVar()] = -1
-		addRow(row, lp.GE, 0)
+		mat.Add(row, enc.MinYieldVar(), -1)
+		endRow(lp.GE, 0)
 	}
+	prob.Cols = mat.Build(row)
 	enc.LP = prob
 	return enc
 }
@@ -126,22 +128,25 @@ type Relaxed struct {
 	MinYield float64
 	// E[j][h] is the fractional placement of service j on node h.
 	E [][]float64
+	// Basis is the optimal simplex basis (nil when infeasible). Feed it to
+	// SolveRelaxedWarm when re-solving the relaxation of the same instance
+	// shape — the RRND/RRNZ roster and branch-and-bound children re-solve
+	// LPs that differ from this one only in bounds.
+	Basis *lp.Basis
 }
 
-// denseTableauLimit is the tableau entry count above which SolveRelaxed
-// switches from the dense simplex to the revised (sparse-column) simplex,
-// whose memory footprint is O(m² + nnz) instead of O(m·(n+m)).
-const denseTableauLimit = 4 << 20
-
-// SolveRelaxed solves the rational relaxation of the MILP for p.
+// SolveRelaxed solves the rational relaxation of the MILP for p with the
+// sparse revised simplex.
 func SolveRelaxed(p *core.Problem) (*Relaxed, error) {
+	return SolveRelaxedWarm(p, nil)
+}
+
+// SolveRelaxedWarm is SolveRelaxed warm-started from the basis of a previous
+// relaxation solve of an identically-shaped instance (a stale basis falls
+// back to a cold start inside the solver).
+func SolveRelaxedWarm(p *core.Problem, warm *lp.Basis) (*Relaxed, error) {
 	enc := Encode(p)
-	m, n := enc.LP.NumRows(), enc.LP.NumVars()
-	solver := lp.Solve
-	if m*(n+m) > denseTableauLimit {
-		solver = lp.SolveRevised
-	}
-	sol, err := solver(enc.LP)
+	sol, err := lp.SolveSparseWarm(enc.LP, warm)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +157,7 @@ func SolveRelaxed(p *core.Problem) (*Relaxed, error) {
 	default:
 		return nil, fmt.Errorf("relax: simplex returned %v", sol.Status)
 	}
-	r := &Relaxed{Feasible: true, MinYield: sol.X[enc.MinYieldVar()]}
+	r := &Relaxed{Feasible: true, MinYield: sol.X[enc.MinYieldVar()], Basis: sol.Basis}
 	r.E = make([][]float64, enc.J)
 	for j := 0; j < enc.J; j++ {
 		r.E[j] = make([]float64, enc.H)

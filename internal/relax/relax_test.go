@@ -245,6 +245,52 @@ func randomProblem(rng *rand.Rand, h, j int) *core.Problem {
 	return p
 }
 
+// Encode must emit the constraint matrix in sparse form, and the sparse
+// matrix must agree with its own densification through both solver paths.
+func TestEncodeEmitsSparseMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	p := randomProblem(rng, 3, 6)
+	enc := Encode(p)
+	if enc.LP.Cols == nil || enc.LP.A != nil {
+		t.Fatal("Encode should emit CSC columns, not dense rows")
+	}
+	if enc.LP.Cols.M != enc.LP.NumRows() || enc.LP.Cols.N != enc.LP.NumVars() {
+		t.Fatalf("CSC shape %dx%d vs problem %dx%d",
+			enc.LP.Cols.M, enc.LP.Cols.N, enc.LP.NumRows(), enc.LP.NumVars())
+	}
+	// Eqs. (3)+(4)+(6)+(7) populate few entries per row; the matrix must
+	// actually be sparse, not accidentally dense.
+	if nnz, cells := enc.LP.Cols.NNZ(), enc.LP.NumRows()*enc.LP.NumVars(); nnz*4 > cells {
+		t.Fatalf("relaxation matrix not sparse: %d nonzeros of %d cells", nnz, cells)
+	}
+}
+
+// A warm-started re-solve of the same instance must agree with the cold
+// solve and actually reuse the basis.
+func TestSolveRelaxedWarmMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for iter := 0; iter < 6; iter++ {
+		p := randomProblem(rng, 3, 6)
+		cold, err := SolveRelaxed(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cold.Feasible {
+			continue
+		}
+		if cold.Basis == nil {
+			t.Fatal("feasible relaxation should carry a basis")
+		}
+		warm, err := SolveRelaxedWarm(p, cold.Basis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.Feasible || math.Abs(warm.MinYield-cold.MinYield) > 1e-8 {
+			t.Fatalf("iter %d: warm yield %v vs cold %v", iter, warm.MinYield, cold.MinYield)
+		}
+	}
+}
+
 // The dense and revised simplex back-ends must agree on the relaxation.
 func TestRelaxationSolverBackendsAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(51))

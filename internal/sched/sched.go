@@ -83,15 +83,16 @@ func WaterFill(capacity float64, weights, demands []float64) []float64 {
 			}
 			give := grant * weights[j] / totalW
 			rem := demands[j] - alloc[j]
+			// Grant at most the proportional share: granting the full
+			// remainder when give is within ShareEpsilon below it would
+			// overdraw the pool and let the total exceed the capacity.
+			take := math.Min(give, rem)
+			alloc[j] += take
+			used += take
 			if give >= rem-ShareEpsilon {
-				alloc[j] = demands[j]
-				used += rem
 				active[j] = false
 				nActive--
 				satisfied++
-			} else {
-				alloc[j] += give
-				used += give
 			}
 		}
 		pool -= used
@@ -112,12 +113,10 @@ func WaterFill(capacity float64, weights, demands []float64) []float64 {
 			var next []int
 			for _, j := range zw {
 				rem := demands[j] - alloc[j]
-				if share >= rem-ShareEpsilon {
-					alloc[j] = demands[j]
-					pool -= rem
-				} else {
-					alloc[j] += share
-					pool -= share
+				take := math.Min(share, rem)
+				alloc[j] += take
+				pool -= take
+				if share < rem-ShareEpsilon {
 					next = append(next, j)
 				}
 			}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package vmalloc
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation skews wall-clock comparisons.
+const raceEnabled = false
