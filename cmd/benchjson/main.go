@@ -1,11 +1,13 @@
 // Command benchjson converts `go test -bench` text output on stdin into a
 // machine-readable JSON document on stdout, so CI can archive per-benchmark
-// ns/op (e.g. BENCH_lp.json) and the performance trajectory stays diffable
-// across PRs.
+// ns/op — and, when the run used -benchmem or b.ReportAllocs, B/op and
+// allocs/op — (e.g. BENCH_lp.json, BENCH_vp.json) and the performance
+// trajectory stays diffable across PRs.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'BenchmarkTable' -benchtime 1x . | benchjson > BENCH_lp.json
+//	go test -run '^$' -bench 'PaperScale' -benchtime 1x -benchmem . | benchjson > BENCH_vp.json
 package main
 
 import (
@@ -17,11 +19,14 @@ import (
 	"strings"
 )
 
-// Benchmark is one parsed benchmark result line.
+// Benchmark is one parsed benchmark result line. BytesPerOp/AllocsPerOp are
+// nil when the run did not report memory statistics.
 type Benchmark struct {
-	Name    string  `json:"name"`
-	Iters   int64   `json:"iters"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Name        string   `json:"name"`
+	Iters       int64    `json:"iters"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // Report is the emitted document.
@@ -82,17 +87,26 @@ func parseLine(line string) (Benchmark, bool) {
 		return Benchmark{}, false
 	}
 	b := Benchmark{Name: trimGOMAXPROCS(fields[0]), Iters: iters}
+	haveNs := false
 	for i := 2; i+1 < len(fields); i++ {
-		if fields[i+1] == "ns/op" {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return Benchmark{}, false
-			}
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
 			b.NsPerOp = v
-			return b, true
+			haveNs = true
+		case "B/op":
+			b.BytesPerOp = &v
+		case "allocs/op":
+			b.AllocsPerOp = &v
 		}
 	}
-	return Benchmark{}, false
+	if !haveNs {
+		return Benchmark{}, false
+	}
+	return b, true
 }
 
 // trimGOMAXPROCS drops the trailing "-N" procs suffix from a benchmark name.

@@ -29,3 +29,25 @@ func TestParseLine(t *testing.T) {
 		}
 	}
 }
+
+func TestParseLineMemStats(t *testing.T) {
+	line := "BenchmarkMetaHeuristicsPaperScale/METAHVP-8 \t 1\t 52123456 ns/op \t 2048 B/op \t 12 allocs/op"
+	b, ok := parseLine(line)
+	if !ok {
+		t.Fatalf("line %q should parse", line)
+	}
+	if b.NsPerOp != 52123456 {
+		t.Fatalf("ns/op = %v", b.NsPerOp)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 2048 {
+		t.Fatalf("B/op = %v", b.BytesPerOp)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 12 {
+		t.Fatalf("allocs/op = %v", b.AllocsPerOp)
+	}
+	// Without -benchmem the pointers stay nil so JSON omits the fields.
+	b, ok = parseLine("BenchmarkY 	 10 	 42.5 ns/op")
+	if !ok || b.BytesPerOp != nil || b.AllocsPerOp != nil {
+		t.Fatalf("plain line parsed as %+v (ok=%v)", b, ok)
+	}
+}

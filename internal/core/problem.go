@@ -127,12 +127,13 @@ func (s *Service) Demand() vec.Vec { return s.ReqAgg.Add(s.NeedAgg) }
 // FitsRequirements reports whether the service's rigid requirements alone fit
 // on node n given the node's current aggregate load (sum of aggregate
 // requirement vectors of services already placed there). This is the minimum
-// condition for a placement to be valid at yield 0.
+// condition for a placement to be valid at yield 0. It sits inside every
+// greedy/repair selection loop and must not allocate.
 func (s *Service) FitsRequirements(n *Node, load vec.Vec) bool {
 	if !s.ReqElem.LessEq(n.Elementary, DefaultEpsilon) {
 		return false
 	}
-	return load.Add(s.ReqAgg).LessEq(n.Aggregate, DefaultEpsilon)
+	return vec.AddFitsWithin(load, s.ReqAgg, n.Aggregate, DefaultEpsilon)
 }
 
 // TotalAggregate returns the element-wise sum of all node aggregate

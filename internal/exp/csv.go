@@ -14,7 +14,7 @@ import (
 func (rs *ResultSet) WriteResultsCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{"hosts", "services", "cov", "slack", "mode", "seed",
-		"algorithm", "solved", "min_yield", "runtime_sec"}
+		"algorithm", "solved", "min_yield", "runtime_sec", "allocs", "alloc_bytes"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -32,6 +32,8 @@ func (rs *ResultSet) WriteResultsCSV(w io.Writer) error {
 				strconv.FormatBool(outs[i].Solved),
 				formatF(outs[i].MinYield),
 				formatF(outs[i].Elapsed.Seconds()),
+				strconv.FormatUint(outs[i].Allocs, 10),
+				strconv.FormatUint(outs[i].AllocBytes, 10),
 			}
 			if err := cw.Write(row); err != nil {
 				return err

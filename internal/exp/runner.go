@@ -13,6 +13,15 @@ type Outcome struct {
 	Solved   bool
 	MinYield float64
 	Elapsed  time.Duration
+	// Allocs and AllocBytes are the heap allocation deltas (object count and
+	// bytes) observed across the algorithm's run via runtime.MemStats, so
+	// allocation regressions in the hot paths show up in sweeps alongside
+	// wall-clock. The counters are process-global: under a parallel sweep,
+	// sibling workers' allocations bleed into each other's deltas, so treat
+	// the numbers as indicative per-run magnitudes, not exact counts (run
+	// with Workers: 1 for exact ones).
+	Allocs     uint64
+	AllocBytes uint64
 }
 
 // ResultSet holds a full sweep: one Outcome per (algorithm, scenario).
@@ -27,6 +36,12 @@ type ResultSet struct {
 type Runner struct {
 	// Workers is the pool size; <= 0 selects GOMAXPROCS.
 	Workers int
+	// DisableAllocStats skips the runtime.MemStats reads around each
+	// algorithm run. Each read is a brief stop-the-world pause; in a
+	// parallel sweep those pauses land inside sibling workers' Elapsed
+	// windows, so disable the reads when timing fidelity matters more than
+	// allocation visibility.
+	DisableAllocStats bool
 }
 
 // Run generates each scenario's instance and runs every algorithm on it.
@@ -51,17 +66,27 @@ func (r *Runner) Run(scns []workload.Scenario, algos []Algo) *ResultSet {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var before, after runtime.MemStats
 			for t := range ch {
 				p := workload.Generate(scns[t.i])
 				for _, a := range algos {
+					if !r.DisableAllocStats {
+						runtime.ReadMemStats(&before)
+					}
 					start := time.Now()
 					res := a.Run(p)
 					el := time.Since(start)
-					rs.ByAlgo[a.Name][t.i] = Outcome{
+					out := Outcome{
 						Solved:   res.Solved,
 						MinYield: res.MinYield,
 						Elapsed:  el,
 					}
+					if !r.DisableAllocStats {
+						runtime.ReadMemStats(&after)
+						out.Allocs = after.Mallocs - before.Mallocs
+						out.AllocBytes = after.TotalAlloc - before.TotalAlloc
+					}
+					rs.ByAlgo[a.Name][t.i] = out
 				}
 			}
 		}()

@@ -123,25 +123,80 @@ func orderServices(p *core.Problem, s SortStrategy) []int {
 	return idx
 }
 
-// state tracks per-node bookkeeping during one greedy run.
+// orderTable computes the seven S1–S7 service permutations once, so
+// METAGREEDY's 49 combos share 7 sorts instead of sorting per combo.
+func orderTable(p *core.Problem) map[SortStrategy][]int {
+	orders := make(map[SortStrategy][]int, len(SortStrategies()))
+	for _, s := range SortStrategies() {
+		orders[s] = orderServices(p, s)
+	}
+	return orders
+}
+
+// state tracks per-node bookkeeping during one greedy run. It is a reusable
+// scratch arena: loads live in flat backing arrays, the per-service
+// selection keys (demand vector, argmax dimensions) are precomputed once,
+// and reset clears it for the next combo without reallocating.
 type state struct {
 	p *core.Problem
 	// reqLoad is the sum of aggregate requirements (feasibility bookkeeping).
 	reqLoad []vec.Vec
 	// demandLoad is the sum of full demands (selection bookkeeping).
-	demandLoad []vec.Vec
+	demandLoad        []vec.Vec
+	reqBuf, demandBuf []float64
+	// demand[j] = ReqAgg + NeedAgg of service j, precomputed.
+	demand       []vec.Vec
+	demandVecBuf []float64
+	// needArgMax/reqArgMax cache argMaxDim of each service's needs and
+	// requirements (P1, P3, P5 keys).
+	needArgMax, reqArgMax []int
+	// capSum[h] = sum of node h's aggregate capacity (P2 denominator).
+	capSum []float64
+	// placement is the reusable output buffer of solveWith.
+	placement core.Placement
 }
 
 func newState(p *core.Problem) *state {
+	d := p.Dim()
+	numNodes, numSvcs := p.NumNodes(), p.NumServices()
 	st := &state{p: p,
-		reqLoad:    make([]vec.Vec, p.NumNodes()),
-		demandLoad: make([]vec.Vec, p.NumNodes()),
+		reqLoad:      make([]vec.Vec, numNodes),
+		demandLoad:   make([]vec.Vec, numNodes),
+		reqBuf:       make([]float64, numNodes*d),
+		demandBuf:    make([]float64, numNodes*d),
+		demand:       make([]vec.Vec, numSvcs),
+		demandVecBuf: make([]float64, numSvcs*d),
+		needArgMax:   make([]int, numSvcs),
+		reqArgMax:    make([]int, numSvcs),
+		capSum:       make([]float64, numNodes),
+		placement:    core.NewPlacement(numSvcs),
 	}
-	for h := range st.reqLoad {
-		st.reqLoad[h] = vec.New(p.Dim())
-		st.demandLoad[h] = vec.New(p.Dim())
+	for h := 0; h < numNodes; h++ {
+		st.reqLoad[h] = vec.Vec(st.reqBuf[h*d : (h+1)*d])
+		st.demandLoad[h] = vec.Vec(st.demandBuf[h*d : (h+1)*d])
+		st.capSum[h] = p.Nodes[h].Aggregate.Sum()
+	}
+	for j := 0; j < numSvcs; j++ {
+		s := &p.Services[j]
+		dem := vec.Vec(st.demandVecBuf[j*d : (j+1)*d])
+		for dd := range dem {
+			dem[dd] = s.ReqAgg[dd] + s.NeedAgg[dd]
+		}
+		st.demand[j] = dem
+		st.needArgMax[j] = argMaxDim(s.NeedAgg)
+		st.reqArgMax[j] = argMaxDim(s.ReqAgg)
 	}
 	return st
+}
+
+// reset clears the load bookkeeping for a fresh run.
+func (st *state) reset() {
+	for i := range st.reqBuf {
+		st.reqBuf[i] = 0
+	}
+	for i := range st.demandBuf {
+		st.demandBuf[i] = 0
+	}
 }
 
 func (st *state) place(j, h int) {
@@ -157,6 +212,19 @@ func (st *state) available(h int) vec.Vec {
 	return st.p.Nodes[h].Aggregate.Sub(st.demandLoad[h])
 }
 
+// availAt returns one component of the node's available capacity without
+// materializing the vector.
+func (st *state) availAt(h, d int) float64 {
+	return st.p.Nodes[h].Aggregate[d] - st.demandLoad[h][d]
+}
+
+// availSum returns the summed available capacity; vec.SumDiff keeps P4/P6
+// tie-breaking bit-identical to the allocating available(h).Sum()
+// formulation.
+func (st *state) availSum(h int) float64 {
+	return vec.SumDiff(st.p.Nodes[h].Aggregate, st.demandLoad[h])
+}
+
 // argMaxDim returns the index of the largest component, ties to the lowest
 // dimension.
 func argMaxDim(v vec.Vec) int {
@@ -170,7 +238,9 @@ func argMaxDim(v vec.Vec) int {
 }
 
 // pickNode applies strategy pick to choose among nodes that can satisfy the
-// service's rigid requirements. It returns -1 when no node fits.
+// service's rigid requirements. It returns -1 when no node fits. All score
+// computations run on cached keys and the flat load arrays; nothing in the
+// loop allocates.
 func (st *state) pickNode(j int, pick PickStrategy) int {
 	s := &st.p.Services[j]
 	best := -1
@@ -196,18 +266,23 @@ func (st *state) pickNode(j int, pick PickStrategy) int {
 		var score float64
 		switch pick {
 		case P1:
-			score = st.available(h)[argMaxDim(s.NeedAgg)]
+			score = st.availAt(h, st.needArgMax[j])
 		case P2:
-			after := st.demandLoad[h].Add(s.Demand()).Sum()
-			capSum := st.p.Nodes[h].Aggregate.Sum()
-			if capSum <= 0 {
+			if st.capSum[h] <= 0 {
 				continue
 			}
-			score = after / capSum
+			// after = sum(demandLoad[h] + demand[j]), summed in dimension
+			// order to match the allocating formulation bit-for-bit.
+			dl, dem := st.demandLoad[h], st.demand[j]
+			after := 0.0
+			for d := range dl {
+				after += dl[d] + dem[d]
+			}
+			score = after / st.capSum[h]
 		case P3, P5:
-			score = st.available(h)[argMaxDim(s.ReqAgg)]
+			score = st.availAt(h, st.reqArgMax[j])
 		case P4, P6:
-			score = st.available(h).Sum()
+			score = st.availSum(h)
 		}
 		if better(score, h) {
 			best, bestScore = h, score
@@ -216,24 +291,35 @@ func (st *state) pickNode(j int, pick PickStrategy) int {
 	return best
 }
 
-// Solve runs one greedy algorithm (sortStrat, pickStrat) on p.
-func Solve(p *core.Problem, sortStrat SortStrategy, pickStrat PickStrategy) *core.Result {
-	st := newState(p)
-	pl := core.NewPlacement(p.NumServices())
-	for _, j := range orderServices(p, sortStrat) {
+// solveWith runs one greedy algorithm on st's problem using a precomputed
+// service order, reusing st and its placement buffer across calls.
+func solveWith(st *state, order []int, pickStrat PickStrategy) *core.Result {
+	st.reset()
+	pl := st.placement
+	for i := range pl {
+		pl[i] = core.Unplaced
+	}
+	for _, j := range order {
 		h := st.pickNode(j, pickStrat)
 		if h < 0 {
-			return &core.Result{Placement: pl}
+			return &core.Result{Placement: pl.Clone()}
 		}
 		pl[j] = h
 		st.place(j, h)
 	}
-	return core.EvaluatePlacement(p, pl)
+	return core.EvaluatePlacement(st.p, pl)
+}
+
+// Solve runs one greedy algorithm (sortStrat, pickStrat) on p.
+func Solve(p *core.Problem, sortStrat SortStrategy, pickStrat PickStrategy) *core.Result {
+	return solveWith(newState(p), orderServices(p, sortStrat), pickStrat)
 }
 
 // MetaGreedy runs all 49 greedy algorithms and returns the best result
-// (highest minimum yield among those that solve the instance). When parallel
-// is true the algorithms run concurrently on up to GOMAXPROCS workers.
+// (highest minimum yield among those that solve the instance). The seven
+// service orders are sorted once and shared across the 49 combos. When
+// parallel is true the combos are distributed over a bounded pool of at most
+// GOMAXPROCS workers, each owning one reusable state arena.
 func MetaGreedy(p *core.Problem, parallel bool) *core.Result {
 	type combo struct {
 		s SortStrategy
@@ -245,23 +331,35 @@ func MetaGreedy(p *core.Problem, parallel bool) *core.Result {
 			combos = append(combos, combo{s, k})
 		}
 	}
+	orders := orderTable(p)
 	results := make([]*core.Result, len(combos))
 	if parallel {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		for i, c := range combos {
-			wg.Add(1)
-			go func(i int, c combo) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				results[i] = Solve(p, c.s, c.k)
-			}(i, c)
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(combos) {
+			workers = len(combos)
 		}
+		ch := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				st := newState(p)
+				for i := range ch {
+					c := combos[i]
+					results[i] = solveWith(st, orders[c.s], c.k)
+				}
+			}()
+		}
+		for i := range combos {
+			ch <- i
+		}
+		close(ch)
 		wg.Wait()
 	} else {
+		st := newState(p)
 		for i, c := range combos {
-			results[i] = Solve(p, c.s, c.k)
+			results[i] = solveWith(st, orders[c.s], c.k)
 		}
 	}
 	best := &core.Result{}

@@ -168,6 +168,62 @@ func TestMetaGreedyAtLeastAsGoodAsEveryCombo(t *testing.T) {
 	}
 }
 
+// A state arena reused across combos (as METAGREEDY's workers do) must give
+// the same result for every combo as a fresh state per run.
+func TestStateReuseMatchesFreshState(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for iter := 0; iter < 10; iter++ {
+		p := randomProblem(rng, 4, 12)
+		st := newState(p)
+		orders := orderTable(p)
+		for _, s := range SortStrategies() {
+			for _, k := range PickStrategies() {
+				reused := solveWith(st, orders[s], k)
+				fresh := Solve(p, s, k)
+				if reused.Solved != fresh.Solved {
+					t.Fatalf("iter %d %v/%v: solved mismatch", iter, s, k)
+				}
+				if !reused.Solved {
+					continue
+				}
+				if reused.MinYield != fresh.MinYield {
+					t.Fatalf("iter %d %v/%v: yields %v vs %v", iter, s, k, reused.MinYield, fresh.MinYield)
+				}
+				for j := range reused.Placement {
+					if reused.Placement[j] != fresh.Placement[j] {
+						t.Fatalf("iter %d %v/%v: placements differ at %d", iter, s, k, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The node-selection loop must not allocate: everything it reads is either
+// cached in the state arena or computed scalar-wise.
+func TestPickNodeAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	p := randomProblem(rng, 8, 40)
+	st := newState(p)
+	order := orderServices(p, S7)
+	for _, k := range PickStrategies() {
+		k := k
+		allocs := testing.AllocsPerRun(10, func() {
+			st.reset()
+			for _, j := range order {
+				h := st.pickNode(j, k)
+				if h < 0 {
+					return
+				}
+				st.place(j, h)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("%v: greedy placement loop allocated %v times per run", k, allocs)
+		}
+	}
+}
+
 func TestMetaGreedyParallelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
 	for iter := 0; iter < 10; iter++ {

@@ -7,11 +7,13 @@
 package hvp
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"vmalloc/internal/core"
+	"vmalloc/internal/relax"
 	"vmalloc/internal/vec"
 	"vmalloc/internal/vp"
 )
@@ -87,6 +89,33 @@ func MetaHVPLight(p *core.Problem, tol float64) *core.Result {
 	return vp.MetaConfigs(p, LightStrategies(), tol)
 }
 
+// LPYieldBound adapts the sparse LP relaxation bound (LPBOUND,
+// relax.UpperBound) to the vp.SearchOptions upper-bound hook: every integral
+// allocation's minimum yield is bounded by the relaxation's optimum, so the
+// binary search can start from the bracket [0, min(1, Y_LP)] instead of
+// [0, 1] — echoing the bound-guided pruning of stage-decomposed IPs — and
+// skip the packing work above the bound entirely.
+func LPYieldBound(p *core.Problem) (float64, error) {
+	return relax.UpperBound(p)
+}
+
+// MetaHVPBounded is METAHVP with the LP-bracketed binary search: the sparse
+// relaxation is solved once up front and its optimal yield caps the bracket
+// before any packing runs. The relaxation solve is not free — it pays off
+// when the packing side dominates (very large strategy rosters or tight
+// tolerances) or when the caller already has the relaxation in hand for
+// RRND/RRNZ; benchmark both variants on your workload before choosing.
+func MetaHVPBounded(p *core.Problem, tol float64) *core.Result {
+	return vp.MetaConfigsOpt(p, Strategies(), vp.SearchOptions{Tol: tol, UpperBound: LPYieldBound})
+}
+
+// MetaHVPParallel is METAHVP with every binary-search step raced by a worker
+// pool with first-success cancellation. workers <= 0 selects GOMAXPROCS.
+// Combine with MetaParallelOpt and LPYieldBound for LP bracketing on top.
+func MetaHVPParallel(p *core.Problem, tol float64, workers int) *core.Result {
+	return MetaParallelOpt(p, Strategies(), vp.SearchOptions{Tol: tol}, workers)
+}
+
 // MetaParallel runs a meta algorithm with the binary-search step evaluated
 // by a pool of workers racing over the strategy list: a step succeeds as
 // soon as any worker packs the instance. Results are identical to the
@@ -94,13 +123,35 @@ func MetaHVPLight(p *core.Problem, tol float64) *core.Result {
 // for a successful step may come from a different (still successful)
 // strategy. workers <= 0 selects GOMAXPROCS.
 func MetaParallel(p *core.Problem, configs []vp.Config, tol float64, workers int) *core.Result {
+	return MetaParallelOpt(p, configs, vp.SearchOptions{Tol: tol}, workers)
+}
+
+// MetaParallelOpt is MetaParallel with search options (LP-bound
+// bracketing). Each worker owns one reusable vp.Solver for the whole search,
+// so per-step work is an O(J·D) instance refresh instead of per-strategy
+// reallocation, and the first worker to pack a step cancels its siblings
+// mid-pack via context.
+func MetaParallelOpt(p *core.Problem, configs []vp.Config, opts vp.SearchOptions, workers int) *core.Result {
+	if len(configs) == 0 {
+		return &core.Result{}
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(configs) {
 		workers = len(configs)
 	}
-	return vp.SearchMaxYield(p, tol, func(y float64) (core.Placement, bool) {
+	solvers := make([]*vp.Solver, workers)
+	for w := range solvers {
+		solvers[w] = vp.NewSolver(p)
+	}
+	return vp.SearchMaxYieldOpt(p, opts, func(y float64) (core.Placement, bool) {
+		// A step no strategy can win fails without spawning any packing work.
+		if !solvers[0].StepFeasible(y) {
+			return nil, false
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
 		var (
 			next    int64 = -1
 			found   atomic.Value
@@ -109,7 +160,7 @@ func MetaParallel(p *core.Problem, configs []vp.Config, tol float64, workers int
 		)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(sol *vp.Solver) {
 				defer wg.Done()
 				for {
 					if success.Load() {
@@ -119,13 +170,17 @@ func MetaParallel(p *core.Problem, configs []vp.Config, tol float64, workers int
 					if i >= len(configs) {
 						return
 					}
-					if pl, ok := vp.Pack(p, y, configs[i]); ok {
-						found.Store(pl)
-						success.Store(true)
+					if pl, ok := sol.PackCtx(ctx, y, configs[i]); ok {
+						// Clone: the solver arena is reused next step, but the
+						// search may retain this placement as its best.
+						if success.CompareAndSwap(false, true) {
+							found.Store(pl.Clone())
+						}
+						cancel()
 						return
 					}
 				}
-			}()
+			}(solvers[w])
 		}
 		wg.Wait()
 		if success.Load() {

@@ -215,6 +215,64 @@ func TestBinOrderApplied(t *testing.T) {
 	}
 }
 
+// The LP-bracketed variants must agree with the classic search within the
+// binary-search tolerance: the relaxation bound only removes yields no
+// packing can reach.
+func TestMetaHVPBoundedWithinTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const tol = 1e-3
+	for iter := 0; iter < 5; iter++ {
+		p := randomProblem(rng, 3, 9)
+		plain := MetaHVP(p, tol)
+		bounded := MetaHVPBounded(p, tol)
+		if plain.Solved != bounded.Solved {
+			t.Fatalf("iter %d: solved mismatch plain=%v bounded=%v", iter, plain.Solved, bounded.Solved)
+		}
+		if plain.Solved && math.Abs(plain.MinYield-bounded.MinYield) > tol {
+			t.Fatalf("iter %d: bounded %v vs plain %v", iter, bounded.MinYield, plain.MinYield)
+		}
+		if bounded.Solved {
+			if err := bounded.Placement.Validate(p); err != nil {
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+		}
+	}
+}
+
+// MetaHVPParallel races per-worker solver arenas with first-success
+// cancellation over an *unbounded* bracket; comparing against the
+// LP-bracketed sequential meta, solvedness must match and yields may differ
+// by bracket discretization plus racing nondeterminism, both within the
+// 0.05 allowance.
+func TestMetaHVPParallelMatchesBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 4; iter++ {
+		p := randomProblem(rng, 4, 12)
+		seq := MetaHVPBounded(p, 1e-3)
+		par := MetaHVPParallel(p, 1e-3, 4)
+		if seq.Solved != par.Solved {
+			t.Fatalf("iter %d: solved mismatch seq=%v par=%v", iter, seq.Solved, par.Solved)
+		}
+		if seq.Solved {
+			if err := par.Placement.Validate(p); err != nil {
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+			if math.Abs(seq.MinYield-par.MinYield) > 0.05 {
+				t.Fatalf("iter %d: yields diverge: %v vs %v", iter, seq.MinYield, par.MinYield)
+			}
+		}
+	}
+}
+
+// An empty strategy roster must fail gracefully, not panic.
+func TestMetaParallelEmptyRoster(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	p := randomProblem(rng, 2, 4)
+	if res := MetaParallel(p, nil, 1e-3, 4); res.Solved {
+		t.Fatal("empty roster cannot solve anything")
+	}
+}
+
 // METAHVP on the paper's Figure 1 instance must place the service on node B
 // and reach yield 1, matching the worked example.
 func TestMetaHVPFigure1(t *testing.T) {

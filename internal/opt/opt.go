@@ -77,6 +77,10 @@ func bestNeighbor(p *core.Problem, cur *core.Result) *core.Result {
 	}
 
 	var best *core.Result
+	// One scratch placement serves every candidate: each mutation is undone
+	// after evaluation, and EvaluatePlacement clones internally, so the
+	// retained best result never aliases the scratch.
+	scratch := cur.Placement.Clone()
 	try := func(pl core.Placement) {
 		res := core.EvaluatePlacement(p, pl)
 		if !res.Solved {
@@ -96,18 +100,18 @@ func bestNeighbor(p *core.Problem, cur *core.Result) *core.Result {
 			if h == hj {
 				continue
 			}
-			pl := cur.Placement.Clone()
-			pl[j] = h
-			try(pl)
+			scratch[j] = h
+			try(scratch)
+			scratch[j] = hj
 		}
 		// Swaps with services on other nodes.
 		for k, hk := range cur.Placement {
 			if k == j || hk == hj {
 				continue
 			}
-			pl := cur.Placement.Clone()
-			pl[j], pl[k] = hk, hj
-			try(pl)
+			scratch[j], scratch[k] = hk, hj
+			try(scratch)
+			scratch[j], scratch[k] = hj, hk
 		}
 	}
 	return best

@@ -9,7 +9,6 @@ package vec
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 )
 
@@ -101,6 +100,31 @@ func (v Vec) LessEq(w Vec, eps float64) bool {
 		}
 	}
 	return true
+}
+
+// AddFitsWithin reports whether load + add <= cap + eps in every dimension,
+// without materializing the sum. It is the single authoritative kernel
+// behind every packing/greedy fit check: the per-dimension expression
+// load[d]+add[d] > cap[d]+eps matches the allocating
+// load.Add(add).LessEq(cap, eps) formulation bit-for-bit.
+func AddFitsWithin(load, add, cap Vec, eps float64) bool {
+	for d := range load {
+		if load[d]+add[d] > cap[d]+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// SumDiff returns sum_d (a[d] - b[d]), accumulating per dimension in index
+// order so the result is bit-identical to a.Sub(b).Sum() without the
+// intermediate vector.
+func SumDiff(a, b Vec) float64 {
+	s := 0.0
+	for d := range b {
+		s += a[d] - b[d]
+	}
+	return s
 }
 
 // Max returns the largest component. Max of the empty vector is 0.
@@ -264,16 +288,38 @@ func Metrics() []Metric {
 // deterministic. The returned slice p satisfies: p[0] is the index of the
 // largest (or smallest) component.
 func Rank(v Vec, descending bool) []int {
-	p := make([]int, len(v))
+	return RankInto(make([]int, len(v)), v, descending)
+}
+
+// RankInto is Rank writing the permutation into p (which must have len(v)
+// entries) instead of allocating. It runs once per bin iteration inside the
+// Permutation-Pack selection loop, so it uses a stable insertion sort over
+// the handful of resource dimensions: zero allocations (sort.SliceStable's
+// reflection swapper allocates) and the exact same permutation, since stable
+// sorts under one ordering agree.
+func RankInto(p []int, v Vec, descending bool) []int {
+	if len(p) != len(v) {
+		panic(fmt.Sprintf("vec: rank buffer has %d entries, want %d", len(p), len(v)))
+	}
 	for i := range p {
 		p[i] = i
 	}
-	sort.SliceStable(p, func(a, b int) bool {
-		if descending {
-			return v[p[a]] > v[p[b]]
+	for i := 1; i < len(p); i++ {
+		x := p[i]
+		j := i - 1
+		for j >= 0 {
+			before := v[x] < v[p[j]]
+			if descending {
+				before = v[x] > v[p[j]]
+			}
+			if !before {
+				break
+			}
+			p[j+1] = p[j]
+			j--
 		}
-		return v[p[a]] < v[p[b]]
-	})
+		p[j+1] = x
+	}
 	return p
 }
 
@@ -283,18 +329,33 @@ func Rank(v Vec, descending bool) []int {
 // i-th ranked dimension within the bin's ranking. An item perfectly matched
 // to the bin has key (0, 1, 2, ...).
 func PermutationKey(binRank, itemRank []int) []int {
+	pos := make([]int, len(binRank))
+	key := make([]int, len(itemRank))
+	return PermutationKeyInto(key, pos, binRank, itemRank)
+}
+
+// PermutationKeyInto is PermutationKey writing into key, with pos as scratch
+// (both must have the rank length); the selection loops of Permutation-Pack
+// call it once per candidate item, so it must not allocate. When the same
+// binRank is reused across items, RankPositionsInto lets callers hoist the
+// pos computation out of the item loop.
+func PermutationKeyInto(key, pos, binRank, itemRank []int) []int {
 	if len(binRank) != len(itemRank) {
 		panic("vec: permutation rank length mismatch")
 	}
-	pos := make([]int, len(binRank))
-	for i, d := range binRank {
-		pos[d] = i
-	}
-	key := make([]int, len(itemRank))
+	RankPositionsInto(pos, binRank)
 	for i, d := range itemRank {
 		key[i] = pos[d]
 	}
 	return key
+}
+
+// RankPositionsInto inverts a rank permutation: pos[d] = position of
+// dimension d within rank.
+func RankPositionsInto(pos, rank []int) {
+	for i, d := range rank {
+		pos[d] = i
+	}
 }
 
 // CompareKeys compares two permutation keys lexicographically over the first

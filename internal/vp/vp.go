@@ -61,7 +61,16 @@ func AllOrders() []Order {
 // Sort returns the indices 0..n-1 ordered by o over the given vectors,
 // stable with respect to natural order.
 func (o Order) Sort(vectors []vec.Vec) []int {
-	idx := make([]int, len(vectors))
+	return o.SortInto(make([]int, len(vectors)), vectors)
+}
+
+// SortInto is Sort writing the permutation into idx (which must have one
+// entry per vector) instead of allocating, so solvers can reuse permutation
+// buffers across binary-search steps.
+func (o Order) SortInto(idx []int, vectors []vec.Vec) []int {
+	if len(idx) != len(vectors) {
+		panic(fmt.Sprintf("vp: order buffer has %d entries, want %d", len(idx), len(vectors)))
+	}
 	for i := range idx {
 		idx[i] = i
 	}
@@ -78,7 +87,10 @@ func (o Order) Sort(vectors []vec.Vec) []int {
 	return idx
 }
 
-// Instance is a packing instance: the problem frozen at a common yield.
+// Instance is a packing instance: the problem frozen at a common yield. All
+// item/bin vectors are views into flat backing arrays allocated once, so an
+// Instance can be refreshed at a new yield with Reset in O(J·D) without
+// reallocating.
 type Instance struct {
 	P     *core.Problem
 	Yield float64
@@ -92,38 +104,72 @@ type Instance struct {
 	// Placement is the partial placement built so far.
 	Placement core.Placement
 	remaining int
+	// Flat backing arrays behind ItemAgg/ItemElem/Load.
+	aggBuf, elemBuf, loadBuf []float64
 }
 
 // NewInstance freezes problem p at yield y.
 func NewInstance(p *core.Problem, y float64) *Instance {
+	d := p.Dim()
+	j, h := p.NumServices(), p.NumNodes()
 	inst := &Instance{
 		P:         p,
-		Yield:     y,
-		ItemAgg:   make([]vec.Vec, p.NumServices()),
-		ItemElem:  make([]vec.Vec, p.NumServices()),
-		Load:      make([]vec.Vec, p.NumNodes()),
-		placed:    make([]bool, p.NumServices()),
-		Placement: core.NewPlacement(p.NumServices()),
-		remaining: p.NumServices(),
+		ItemAgg:   make([]vec.Vec, j),
+		ItemElem:  make([]vec.Vec, j),
+		Load:      make([]vec.Vec, h),
+		placed:    make([]bool, j),
+		Placement: core.NewPlacement(j),
+		aggBuf:    make([]float64, j*d),
+		elemBuf:   make([]float64, j*d),
+		loadBuf:   make([]float64, h*d),
 	}
-	for j := range p.Services {
-		s := &p.Services[j]
-		inst.ItemAgg[j] = s.AggAt(y)
-		inst.ItemElem[j] = s.ElemAt(y)
+	for i := range inst.ItemAgg {
+		inst.ItemAgg[i] = vec.Vec(inst.aggBuf[i*d : (i+1)*d])
+		inst.ItemElem[i] = vec.Vec(inst.elemBuf[i*d : (i+1)*d])
 	}
-	for h := range inst.Load {
-		inst.Load[h] = vec.New(p.Dim())
+	for i := range inst.Load {
+		inst.Load[i] = vec.Vec(inst.loadBuf[i*d : (i+1)*d])
 	}
+	inst.Reset(y)
 	return inst
 }
 
-// Fits reports whether item j currently fits in bin h.
+// Reset refreshes the instance at a new yield: item vectors are recomputed
+// in place and all placement state is cleared. No memory is allocated.
+func (inst *Instance) Reset(y float64) {
+	inst.Yield = y
+	for j := range inst.P.Services {
+		s := &inst.P.Services[j]
+		agg, elem := inst.ItemAgg[j], inst.ItemElem[j]
+		for d := range agg {
+			agg[d] = s.ReqAgg[d] + y*s.NeedAgg[d]
+			elem[d] = s.ReqElem[d] + y*s.NeedElem[d]
+		}
+	}
+	inst.Clear()
+}
+
+// Clear empties every bin, keeping the frozen yield and item vectors: the
+// fast path for retrying a different strategy at the same yield.
+func (inst *Instance) Clear() {
+	for i := range inst.loadBuf {
+		inst.loadBuf[i] = 0
+	}
+	for j := range inst.placed {
+		inst.placed[j] = false
+		inst.Placement[j] = core.Unplaced
+	}
+	inst.remaining = len(inst.placed)
+}
+
+// Fits reports whether item j currently fits in bin h. It is called inside
+// every packing inner loop and must not allocate.
 func (inst *Instance) Fits(j, h int) bool {
 	n := &inst.P.Nodes[h]
 	if !inst.ItemElem[j].LessEq(n.Elementary, core.DefaultEpsilon) {
 		return false
 	}
-	return inst.Load[h].Add(inst.ItemAgg[j]).LessEq(n.Aggregate, core.DefaultEpsilon)
+	return vec.AddFitsWithin(inst.Load[h], inst.ItemAgg[j], n.Aggregate, core.DefaultEpsilon)
 }
 
 // Place commits item j to bin h.
@@ -143,6 +189,21 @@ func (inst *Instance) Done() bool { return inst.remaining == 0 }
 // Remaining returns the remaining capacity vector of bin h.
 func (inst *Instance) Remaining(h int) vec.Vec {
 	return inst.P.Nodes[h].Aggregate.Sub(inst.Load[h])
+}
+
+// remainingInto writes the remaining capacity of bin h into out.
+func (inst *Instance) remainingInto(out vec.Vec, h int) {
+	cap, load := inst.P.Nodes[h].Aggregate, inst.Load[h]
+	for d := range out {
+		out[d] = cap[d] - load[d]
+	}
+}
+
+// remainingSum returns the summed remaining capacity of bin h; vec.SumDiff
+// keeps heterogeneous Best-Fit tie-breaking bit-identical to the allocating
+// Remaining(h).Sum() formulation.
+func (inst *Instance) remainingSum(h int) float64 {
+	return vec.SumDiff(inst.P.Nodes[h].Aggregate, inst.Load[h])
 }
 
 // Algorithm identifies one of the packing heuristics.
@@ -210,152 +271,78 @@ func (c Config) String() string {
 }
 
 // Pack attempts to pack every service at yield y under strategy c, returning
-// the placement and whether it is complete.
+// the placement and whether it is complete. It is the one-shot convenience
+// front-end; callers packing the same problem repeatedly (binary-search
+// steps, meta-strategy rosters) should hold a Solver, which reuses all
+// scratch state and sort permutations across calls.
 func Pack(p *core.Problem, y float64, c Config) (core.Placement, bool) {
-	inst := NewInstance(p, y)
-	items := c.ItemOrder.Sort(inst.ItemAgg)
-
-	switch c.Alg {
-	case FirstFit:
-		bins := binOrder(p, c.BinOrder)
-		for _, j := range items {
-			ok := false
-			for _, h := range bins {
-				if inst.Fits(j, h) {
-					inst.Place(j, h)
-					ok = true
-					break
-				}
-			}
-			if !ok {
-				return inst.Placement, false
-			}
-		}
-	case BestFit:
-		for _, j := range items {
-			best, found := -1, false
-			var bestScore float64
-			for h := 0; h < p.NumNodes(); h++ {
-				if !inst.Fits(j, h) {
-					continue
-				}
-				var score float64
-				if c.Hetero {
-					// Least total remaining capacity wins.
-					score = -inst.Remaining(h).Sum()
-				} else {
-					// Greatest total load wins.
-					score = inst.Load[h].Sum()
-				}
-				if !found || score > bestScore {
-					best, bestScore, found = h, score, true
-				}
-			}
-			if !found {
-				return inst.Placement, false
-			}
-			inst.Place(j, best)
-		}
-	case PermutationPack, ChoosePack:
-		packByBins(inst, items, c)
-	default:
-		panic("vp: unknown algorithm")
-	}
-	return inst.Placement, inst.Done()
-}
-
-// binOrder returns bin indices sorted by aggregate capacity under o.
-func binOrder(p *core.Problem, o Order) []int {
-	caps := make([]vec.Vec, p.NumNodes())
-	for h := range caps {
-		caps[h] = p.Nodes[h].Aggregate
-	}
-	return o.Sort(caps)
-}
-
-// packByBins runs the Permutation-Pack / Choose-Pack loop: for each bin in
-// order, repeatedly select the unplaced fitting item whose dimension
-// permutation best complements the bin, until nothing more fits.
-func packByBins(inst *Instance, items []int, c Config) {
-	p := inst.P
-	d := p.Dim()
-	w := c.Window
-	if w <= 0 || w > d {
-		w = d
-	}
-	bins := binOrder(p, c.BinOrder)
-	// Item dimension rankings are static for the whole pack.
-	itemRank := make([][]int, p.NumServices())
-	for _, j := range items {
-		itemRank[j] = vec.Rank(inst.ItemAgg[j], true)
-	}
-	for _, h := range bins {
-		for {
-			// Rank the bin's dimensions: ascending load (homogeneous) or,
-			// equivalently for the heterogeneous variant, descending
-			// remaining capacity.
-			var binRank []int
-			if c.Hetero {
-				binRank = vec.Rank(inst.Remaining(h), true)
-			} else {
-				binRank = vec.Rank(inst.Load[h], false)
-			}
-			best := -1
-			var bestKey []int
-			bestWithin := false
-			for _, j := range items {
-				if inst.placed[j] || !inst.Fits(j, h) {
-					continue
-				}
-				key := vec.PermutationKey(binRank, itemRank[j])
-				if c.Alg == ChoosePack {
-					// The first within-window item in item order wins; with
-					// none in the window, fall back to lexicographic keys.
-					if bestWithin {
-						continue
-					}
-					if vec.KeyWithinWindow(key, w) {
-						best, bestKey, bestWithin = j, key, true
-					} else if best == -1 || vec.CompareKeys(key, bestKey, w) < 0 {
-						best, bestKey = j, key
-					}
-				} else if best == -1 || vec.CompareKeys(key, bestKey, w) < 0 {
-					best, bestKey = j, key
-				}
-			}
-			if best == -1 {
-				break
-			}
-			inst.Place(best, h)
-		}
-	}
+	return NewSolver(p).Pack(y, c)
 }
 
 // TryFunc attempts a packing at a yield, returning a complete placement and
-// success.
+// success. The placement only needs to stay valid until the next invocation
+// of the same TryFunc: searches copy any placement they retain, so solvers
+// may return views into reused scratch.
 type TryFunc func(y float64) (core.Placement, bool)
+
+// SearchOptions tunes SearchMaxYieldOpt.
+type SearchOptions struct {
+	// Tol is the binary-search stopping threshold (DefaultTolerance if <= 0).
+	Tol float64
+	// UpperBound, when non-nil, is consulted once per search for an a-priori
+	// upper bound on the achievable yield — typically the LP relaxation
+	// bound (LPBOUND, relax.UpperBound), which every integral solution
+	// respects. A bound below 1 shrinks the initial bracket to [0, bound]
+	// before any packing runs. Errors fall back to the unbounded bracket; a
+	// negative bound (infeasible relaxation) collapses the bracket to the
+	// single probe y=0.
+	UpperBound func(p *core.Problem) (float64, error)
+}
 
 // SearchMaxYield performs the paper's binary search for the largest yield at
 // which try succeeds, with the given tolerance (DefaultTolerance if <= 0).
 // The returned result evaluates the best placement found, so the reported
 // minimum yield can slightly exceed the search's lower bound.
 func SearchMaxYield(p *core.Problem, tol float64, try TryFunc) *core.Result {
+	return SearchMaxYieldOpt(p, SearchOptions{Tol: tol}, try)
+}
+
+// SearchMaxYieldOpt is SearchMaxYield with an optional a-priori upper bound
+// shrinking the initial bracket. With no bound the probe sequence is exactly
+// the classic search: try 1, try 0, then bisect [0, 1].
+func SearchMaxYieldOpt(p *core.Problem, opts SearchOptions, try TryFunc) *core.Result {
+	tol := opts.Tol
 	if tol <= 0 {
 		tol = DefaultTolerance
 	}
-	// Yield 1 first: saturated success short-circuits the search.
-	if pl, ok := try(1); ok {
+	hi := 1.0
+	if opts.UpperBound != nil {
+		if ub, err := opts.UpperBound(p); err == nil && ub < hi {
+			if ub < 0 {
+				ub = 0
+			}
+			hi = ub
+		}
+	}
+	// The bracket top first: success there is optimal (up to the bound) and
+	// short-circuits the search.
+	if pl, ok := try(hi); ok {
 		return core.EvaluatePlacement(p, pl)
 	}
-	bestPl, ok := try(0)
+	if hi == 0 {
+		return &core.Result{}
+	}
+	pl, ok := try(0)
 	if !ok {
 		return &core.Result{}
 	}
-	lo, hi := 0.0, 1.0
+	bestPl := pl.Clone()
+	lo := 0.0
 	for hi-lo > tol {
 		mid := (lo + hi) / 2
 		if pl, ok := try(mid); ok {
-			lo, bestPl = mid, pl
+			lo = mid
+			bestPl = pl.Clone()
 		} else {
 			hi = mid
 		}
@@ -365,8 +352,15 @@ func SearchMaxYield(p *core.Problem, tol float64, try TryFunc) *core.Result {
 
 // Solve runs one packing strategy inside the yield binary search.
 func Solve(p *core.Problem, c Config, tol float64) *core.Result {
-	return SearchMaxYield(p, tol, func(y float64) (core.Placement, bool) {
-		return Pack(p, y, c)
+	return SolveOpt(p, c, SearchOptions{Tol: tol})
+}
+
+// SolveOpt runs one packing strategy inside the yield binary search with
+// search options (LP-bound bracketing).
+func SolveOpt(p *core.Problem, c Config, opts SearchOptions) *core.Result {
+	s := NewSolver(p)
+	return SearchMaxYieldOpt(p, opts, func(y float64) (core.Placement, bool) {
+		return s.Pack(y, c)
 	})
 }
 
@@ -390,10 +384,24 @@ func MetaVP(p *core.Problem, tol float64) *core.Result {
 
 // MetaConfigs is the generic meta-algorithm over an arbitrary strategy set:
 // a binary-search step succeeds as soon as any strategy packs the instance.
+// One Solver is shared across every strategy and every binary-search step,
+// so the instance refresh at each new yield is a single O(J·D) pass and the
+// sort permutations are computed once per distinct order, not per strategy.
 func MetaConfigs(p *core.Problem, configs []Config, tol float64) *core.Result {
-	return SearchMaxYield(p, tol, func(y float64) (core.Placement, bool) {
+	return MetaConfigsOpt(p, configs, SearchOptions{Tol: tol})
+}
+
+// MetaConfigsOpt is MetaConfigs with search options (LP-bound bracketing).
+// Each step first runs the O(J·H·D) StepFeasible necessary-condition check:
+// a step no strategy can win is declared failed without packing at all.
+func MetaConfigsOpt(p *core.Problem, configs []Config, opts SearchOptions) *core.Result {
+	s := NewSolver(p)
+	return SearchMaxYieldOpt(p, opts, func(y float64) (core.Placement, bool) {
+		if !s.StepFeasible(y) {
+			return nil, false
+		}
 		for _, c := range configs {
-			if pl, ok := Pack(p, y, c); ok {
+			if pl, ok := s.Pack(y, c); ok {
 				return pl, true
 			}
 		}
