@@ -1,0 +1,214 @@
+package vmalloc
+
+import (
+	"fmt"
+	"math"
+
+	"vmalloc/internal/engine"
+	"vmalloc/internal/vec"
+)
+
+// Cluster is the persistent online allocation engine: a long-lived view of a
+// hosting platform whose services arrive, depart and change needs over time,
+// re-solved epoch by epoch without rebuilding solver state. It is the public
+// face of the §8 "dynamic platform" future work — the same engine that backs
+// the discrete-event simulator — and keeps, across epochs:
+//
+//   - the live services in a slab with O(1) admission and departure,
+//   - per-node requirement/need loads maintained incrementally,
+//   - the true and estimated problem views in recycled backing arrays, and
+//   - warm solver arenas (one per worker under Parallel) plus, with
+//     UseLPBound, the LP warm-start basis of the previous epoch.
+//
+// Sequential and parallel reallocation produce identical placements for the
+// same cluster history (the parallel sweep keeps the lowest-index success).
+// A Cluster is not safe for concurrent use.
+type Cluster struct {
+	eng *engine.Engine
+}
+
+// ClusterOptions tunes a Cluster. The zero value (nil pointer) selects the
+// sequential METAHVPLIGHT engine at the paper's tolerance.
+type ClusterOptions struct {
+	// CPUDim is the resource dimension holding CPU needs (and receiving the
+	// mitigation threshold). Generated workloads use 0.
+	CPUDim int
+	// Tolerance is the yield binary-search tolerance; <= 0 selects the
+	// paper's 1e-4.
+	Tolerance float64
+	// Threshold is the initial §6.2 mitigation threshold applied to
+	// estimated CPU needs at reallocation (see SetThreshold).
+	Threshold float64
+	// Placer overrides the built-in meta placer (it receives the estimated,
+	// thresholded view, valid only during the call).
+	Placer func(p *Problem) *Result
+	// Parallel races the strategy roster across Workers goroutines with
+	// results identical to the sequential sweep.
+	Parallel bool
+	// Workers is the parallel worker count; <= 0 selects GOMAXPROCS.
+	Workers int
+	// UseLPBound brackets the binary search with the sparse LP relaxation
+	// bound, warm-started from the previous epoch's basis. Worthwhile only
+	// when packing dominates the epoch (large rosters, tight tolerances).
+	UseLPBound bool
+}
+
+// ClusterEpoch reports one Reallocate or Repair epoch.
+type ClusterEpoch struct {
+	// Result is the solve outcome; Result.Placement is aligned with IDs. On
+	// !Result.Solved the previous placement was kept.
+	Result *Result
+	// IDs are the live service ids in view order (ascending admission
+	// order).
+	IDs []int
+	// Migrations counts already-placed services that changed node.
+	Migrations int
+}
+
+// NewCluster returns an empty cluster over the given nodes.
+func NewCluster(nodes []Node, opts *ClusterOptions) (*Cluster, error) {
+	if opts == nil {
+		opts = &ClusterOptions{}
+	}
+	eng, err := engine.New(engine.Config{
+		Nodes:      nodes,
+		CPUDim:     opts.CPUDim,
+		Tol:        opts.Tolerance,
+		Placer:     engine.Placer(opts.Placer),
+		Parallel:   opts.Parallel,
+		Workers:    opts.Workers,
+		UseLPBound: opts.UseLPBound,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng.SetThreshold(opts.Threshold)
+	return &Cluster{eng: eng}, nil
+}
+
+// validateService mirrors the structural checks Problem.Validate applies,
+// so malformed input surfaces as an error at the public boundary instead of
+// a panic (or silent NaN poisoning of the incremental loads) deep inside the
+// engine.
+func (c *Cluster) validateService(kind string, svc Service) error {
+	d := c.eng.Dim()
+	for _, vv := range []struct {
+		name string
+		v    Vec
+	}{
+		{"elementary requirement", svc.ReqElem},
+		{"aggregate requirement", svc.ReqAgg},
+		{"elementary need", svc.NeedElem},
+		{"aggregate need", svc.NeedAgg},
+	} {
+		if vv.v.Dim() != d {
+			return fmt.Errorf("vmalloc: %s service %s has %d dimensions, want %d",
+				kind, vv.name, vv.v.Dim(), d)
+		}
+		for dd, x := range vv.v {
+			if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("vmalloc: %s service %s has invalid value %g in dimension %d",
+					kind, vv.name, x, dd)
+			}
+		}
+	}
+	return nil
+}
+
+// Add admits a service whose CPU-need estimate is exact. Admission is the
+// engine's best-fit test on rigid requirements against the incrementally
+// maintained node loads; ok is false when no node can host the service, in
+// which case the cluster is unchanged. A non-nil error means svc is
+// structurally invalid (wrong dimensionality, negative/NaN entries) and
+// nothing was attempted.
+func (c *Cluster) Add(svc Service) (id int, ok bool, err error) {
+	return c.AddWithEstimate(svc, svc)
+}
+
+// AddWithEstimate admits a service whose scheduler-visible needs (estSvc)
+// differ from its true needs (trueSvc); the two normally share
+// requirements (only needs are subject to the §6 estimate-error model).
+func (c *Cluster) AddWithEstimate(trueSvc, estSvc Service) (id int, ok bool, err error) {
+	if err := c.validateService("true", trueSvc); err != nil {
+		return 0, false, err
+	}
+	if err := c.validateService("estimated", estSvc); err != nil {
+		return 0, false, err
+	}
+	id, _, ok = c.eng.Add(trueSvc, estSvc)
+	return id, ok, nil
+}
+
+// Remove departs a live service in O(1). It reports whether id was live.
+func (c *Cluster) Remove(id int) bool { return c.eng.Remove(id) }
+
+// UpdateNeeds replaces the fluid needs (true and estimated) of a live
+// service; rigid requirements cannot change in place. It returns an error
+// for malformed vectors or an unknown id.
+func (c *Cluster) UpdateNeeds(id int, trueNeedElem, trueNeedAgg, estNeedElem, estNeedAgg Vec) error {
+	d := c.eng.Dim()
+	for _, vv := range []struct {
+		name string
+		v    Vec
+	}{
+		{"true elementary need", trueNeedElem},
+		{"true aggregate need", trueNeedAgg},
+		{"estimated elementary need", estNeedElem},
+		{"estimated aggregate need", estNeedAgg},
+	} {
+		if vv.v.Dim() != d {
+			return fmt.Errorf("vmalloc: %s has %d dimensions, want %d", vv.name, vv.v.Dim(), d)
+		}
+		for dd, x := range vv.v {
+			if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("vmalloc: %s has invalid value %g in dimension %d", vv.name, x, dd)
+			}
+		}
+	}
+	if !c.eng.UpdateNeeds(id, vec.Vec(trueNeedElem), vec.Vec(trueNeedAgg),
+		vec.Vec(estNeedElem), vec.Vec(estNeedAgg)) {
+		return fmt.Errorf("vmalloc: no live service with id %d", id)
+	}
+	return nil
+}
+
+// Len returns the number of live services.
+func (c *Cluster) Len() int { return c.eng.Len() }
+
+// Node returns the node currently hosting id, or false when id is not live.
+func (c *Cluster) Node(id int) (int, bool) { return c.eng.Node(id) }
+
+// SetThreshold sets the §6.2 mitigation threshold applied to estimated CPU
+// needs when views are built for the next epoch (0 disables).
+func (c *Cluster) SetThreshold(th float64) { c.eng.SetThreshold(th) }
+
+// Reallocate runs one full reallocation epoch with the configured placer
+// over the estimated view, applying the new placement and counting
+// migrations. On failure the previous placement is kept.
+func (c *Cluster) Reallocate() *ClusterEpoch { return clusterEpoch(c.eng.Reallocate()) }
+
+// Repair runs one migration-bounded incremental epoch: still-feasible
+// services stay put, new or displaced services are re-placed by best fit,
+// and at most budget previously-placed services move (negative =
+// unlimited), followed by budget-aware local search.
+func (c *Cluster) Repair(budget int) *ClusterEpoch { return clusterEpoch(c.eng.Repair(budget)) }
+
+// Snapshot returns a detached copy of the cluster: the true problem view,
+// the current placement and the live service ids, aligned index by index.
+func (c *Cluster) Snapshot() (*Problem, Placement, []int) { return c.eng.Snapshot() }
+
+// MinYield evaluates the achieved minimum yield of the current placement
+// when the true needs run against the estimated (thresholded) view under the
+// given scheduling policy — the §6 error model. Returns 1 for an empty
+// cluster.
+func (c *Cluster) MinYield(policy SchedPolicy) float64 {
+	return c.eng.EvaluateMinYield(policy)
+}
+
+func clusterEpoch(rep *engine.EpochReport) *ClusterEpoch {
+	return &ClusterEpoch{
+		Result:     rep.Result,
+		IDs:        append([]int(nil), rep.IDs...),
+		Migrations: rep.Migrations,
+	}
+}

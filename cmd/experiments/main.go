@@ -25,6 +25,7 @@ import (
 	"vmalloc/internal/core"
 	"vmalloc/internal/exp"
 	"vmalloc/internal/hvp"
+	"vmalloc/internal/platform"
 	"vmalloc/internal/plot"
 	"vmalloc/internal/sched"
 	"vmalloc/internal/vec"
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "", "experiment: table1|table2|fig2..fig7|light|binorder|hardness|theorem1|profile")
+		which    = flag.String("exp", "", "experiment: table1|table2|fig2..fig7|light|binorder|hardness|theorem1|profile|online")
 		full     = flag.Bool("full", false, "use the paper's original sweep sizes (very slow)")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		slack    = flag.Float64("slack", -1, "override memory slack")
@@ -75,6 +76,8 @@ func main() {
 		theorem1Table()
 	case "profile":
 		profileStrategies(cfg)
+	case "online":
+		onlineTable(cfg)
 	default:
 		fmt.Fprintln(os.Stderr, "experiments: unknown or missing -exp (see -h)")
 		os.Exit(2)
@@ -423,4 +426,30 @@ func theorem1Table() {
 		got := nc.MinYield(sched.EqualWeights) / (1 / sum)
 		fmt.Printf("%-5d %.6f   %.6f\n", J, got, sched.CompetitiveLowerBound(J))
 	}
+}
+
+// onlineTable prints the §8 online-platform churn sweep: steady-state
+// yield, migration load and rejection rate against arrival rate, through
+// the persistent allocation engine.
+func onlineTable(cfg config) {
+	spec := exp.OnlineSpec{
+		Hosts: cfg.hosts, COV: 0.5,
+		Rates:   []float64{2, 4, 8, 12},
+		Horizon: 100, Epoch: 5,
+		MaxErr: 0.2, Threshold: platform.AdaptiveThreshold,
+		Seeds: cfg.seeds,
+	}
+	if cfg.full {
+		spec.Rates = []float64{2, 4, 8, 12, 16, 24}
+		spec.Horizon = 400
+	}
+	start := time.Now()
+	rows, err := spec.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("=== Online platform: steady state vs churn (%d hosts, adaptive threshold, %v) ===\n",
+		spec.Hosts, time.Since(start).Round(time.Millisecond))
+	fmt.Print(exp.OnlineTable(rows))
 }

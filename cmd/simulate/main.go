@@ -1,12 +1,14 @@
 // Command simulate runs the dynamic hosting-platform simulation (the §8
-// future-work system): services arrive and depart over time, METAHVPLIGHT
-// reallocates every epoch, CPU-need estimates are noisy, and the mitigation
-// threshold is fixed or adaptive.
+// future-work system) on the persistent allocation engine: services arrive
+// and depart over time, METAHVPLIGHT reallocates every epoch on warm solver
+// state, CPU-need estimates are noisy, and the mitigation threshold is fixed
+// or adaptive. -parallel races the strategy roster across workers without
+// changing the trajectory.
 //
 // Usage:
 //
 //	simulate -hosts 16 -rate 4 -lifetime 10 -horizon 200 -epoch 5 \
-//	         -maxerr 0.2 -threshold adaptive
+//	         -maxerr 0.2 -threshold adaptive -parallel
 package main
 
 import (
@@ -33,6 +35,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		repair    = flag.Bool("repair", false, "use migration-bounded incremental repair instead of full reallocation")
 		budget    = flag.Int("budget", -1, "migrations allowed per repair epoch (-1 = unlimited)")
+		parallel  = flag.Bool("parallel", false, "race the reallocation roster across workers (deterministic: same trajectory as sequential)")
+		workers   = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -62,6 +66,8 @@ func main() {
 		Threshold:       th,
 		UseRepair:       *repair,
 		MigrationBudget: *budget,
+		Parallel:        *parallel,
+		Workers:         *workers,
 		Seed:            *seed,
 	})
 	if err != nil {

@@ -38,6 +38,45 @@ func ExampleGenerate() {
 	// Output: 4 nodes, 10 services
 }
 
+// ExampleCluster runs a small online hosting scenario: services are
+// admitted into a persistent cluster, reallocated epoch by epoch, and
+// departed — the engine keeps its solver state warm between epochs.
+func ExampleCluster() {
+	nodes := []vmalloc.Node{
+		{Elementary: vmalloc.Of(0.5, 1.0), Aggregate: vmalloc.Of(2.0, 1.0)},
+		{Elementary: vmalloc.Of(0.5, 1.0), Aggregate: vmalloc.Of(2.0, 1.0)},
+	}
+	cluster, err := vmalloc.NewCluster(nodes, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	svc := func(mem, need float64) vmalloc.Service {
+		return vmalloc.Service{
+			ReqElem: vmalloc.Of(0.05, mem), ReqAgg: vmalloc.Of(0.05, mem),
+			NeedElem: vmalloc.Of(need/2, 0), NeedAgg: vmalloc.Of(need, 0),
+		}
+	}
+	var ids []int
+	for _, need := range []float64{0.8, 0.6, 0.9, 0.7} {
+		if id, ok, _ := cluster.Add(svc(0.2, need)); ok {
+			ids = append(ids, id)
+		}
+	}
+	ep := cluster.Reallocate()
+	fmt.Printf("epoch 1: %d services, solved=%v, yield %.2f\n",
+		len(ep.IDs), ep.Result.Solved, ep.Result.MinYield)
+
+	cluster.Remove(ids[0]) // O(1) departure
+	ep = cluster.Reallocate()
+	fmt.Printf("epoch 2: %d services, solved=%v, yield %.2f\n",
+		len(ep.IDs), ep.Result.Solved, ep.Result.MinYield)
+	// Output:
+	// epoch 1: 4 services, solved=true, yield 1.00
+	// epoch 2: 3 services, solved=true, yield 1.00
+}
+
 // ExampleMigrations counts moved services between two placements.
 func ExampleMigrations() {
 	prev := vmalloc.Placement{0, 1, vmalloc.Unplaced}

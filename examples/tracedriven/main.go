@@ -1,7 +1,11 @@
 // Tracedriven: ingest a cluster workload trace (Google-cluster-data-style
 // CSV), extract the requested-cores and memory-fraction marginals the paper
 // takes from the Google dataset, generate an allocation instance from the
-// empirical distributions, and solve it — the full data pipeline of §4.
+// empirical distributions, and replay it *online* through the persistent
+// allocation engine (vmalloc.Cluster): trace-derived services stream into
+// the cluster in waves, each wave is reallocated on warm solver state, and
+// early arrivals depart between epochs — the §4 data pipeline feeding the §8
+// dynamic platform.
 package main
 
 import (
@@ -51,18 +55,52 @@ func main() {
 	scn := vmalloc.Scenario{Hosts: 16, Services: 80, COV: 0.5, Slack: 0.4, Seed: 11}
 	p := workload.GenerateSampled(scn, emp)
 
-	res, err := vmalloc.Solve(vmalloc.AlgoMetaHVPLight, p, nil)
+	// Replay the trace-derived workload online: the cluster keeps its solver
+	// arenas warm while services stream in and out.
+	cluster, err := vmalloc.NewCluster(p.Nodes, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !res.Solved {
-		log.Fatal("no feasible placement for the trace-driven workload")
+	const wave = 20
+	var ids []int
+	epoch := 0
+	for start := 0; start < len(p.Services); start += wave {
+		end := start + wave
+		if end > len(p.Services) {
+			end = len(p.Services)
+		}
+		admitted, rejected := 0, 0
+		for _, svc := range p.Services[start:end] {
+			id, ok, err := cluster.Add(svc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ok {
+				ids = append(ids, id)
+				admitted++
+			} else {
+				rejected++
+			}
+		}
+		// The earliest arrivals of the previous wave depart.
+		departed := 0
+		if epoch > 0 {
+			for i := 0; i < wave/4 && len(ids) > 0; i++ {
+				cluster.Remove(ids[0])
+				ids = ids[1:]
+				departed++
+			}
+		}
+		ep := cluster.Reallocate()
+		epoch++
+		fmt.Printf("epoch %d: +%d/-%d services (live %d, rejected %d), solved=%v, min yield %.4f, %d migrations\n",
+			epoch, admitted, departed, cluster.Len(), rejected,
+			ep.Result.Solved, ep.Result.MinYield, ep.Migrations)
 	}
-	fmt.Printf("placed %d trace-derived services on %d nodes: min yield %.4f\n",
-		p.NumServices(), p.NumNodes(), res.MinYield)
 
-	// The cheap local-search post-pass sometimes squeezes out a bit more.
-	imp := vmalloc.Improve(p, res.Placement)
-	fmt.Printf("after local-search improvement:               min yield %.4f (%d migrations)\n",
-		imp.MinYield, vmalloc.Migrations(res.Placement, imp.Placement))
+	// A detached snapshot feeds the offline post-passes unchanged.
+	snap, pl, _ := cluster.Snapshot()
+	imp := vmalloc.Improve(snap, pl)
+	fmt.Printf("final local-search improvement: min yield %.4f (%d migrations)\n",
+		imp.MinYield, vmalloc.Migrations(pl, imp.Placement))
 }

@@ -116,6 +116,94 @@ func MetaHVPParallel(p *core.Problem, tol float64, workers int) *core.Result {
 	return MetaParallelOpt(p, Strategies(), vp.SearchOptions{Tol: tol}, workers)
 }
 
+// MetaDeterministicSolvers runs the meta search with each binary-search step
+// raced by one goroutine per solver, while preserving the *sequential*
+// semantics exactly: the step returns the successful strategy with the
+// lowest roster index, which is precisely the strategy sequential
+// MetaConfigs would have stopped at. Callers own the per-worker solvers
+// (typically one long-lived set per online engine, Rebind-ed between
+// epochs), so repeated epoch re-solves reuse W warm arenas.
+//
+// Determinism argument: workers claim strategy indices from an atomic
+// counter in ascending order. A claimed index is skipped only when a success
+// at a strictly lower index is already recorded, so no index below the
+// eventual minimum is ever skipped; every such index is packed to completion
+// and fails (packing a strategy is deterministic and independent of sibling
+// strategies — each Pack starts from a cleared arena). The minimum recorded
+// success is therefore exactly the sequential first success, and its
+// placement is byte-identical to the sequential one. Unlike MetaParallelOpt
+// — which keeps whichever success lands first — this variant is safe for
+// golden-trajectory reproducibility; the price is that workers cannot
+// early-cancel siblings below the current minimum.
+func MetaDeterministicSolvers(solvers []*vp.Solver, configs []vp.Config, opts vp.SearchOptions) *core.Result {
+	if len(solvers) == 0 || len(configs) == 0 {
+		return &core.Result{}
+	}
+	p := solvers[0].Problem()
+	if len(solvers) == 1 {
+		return vp.MetaConfigsSolver(solvers[0], configs, opts)
+	}
+	return vp.SearchMaxYieldOpt(p, opts, func(y float64) (core.Placement, bool) {
+		// A step no strategy can win fails without spawning any goroutine.
+		if !solvers[0].StepFeasible(y) {
+			return nil, false
+		}
+		var (
+			next    atomic.Int64
+			minIdx  atomic.Int64
+			mu      sync.Mutex
+			bestPl  core.Placement
+			bestIdx = len(configs)
+			wg      sync.WaitGroup
+		)
+		next.Store(-1)
+		minIdx.Store(int64(len(configs)))
+		for w := 0; w < len(solvers); w++ {
+			wg.Add(1)
+			go func(sol *vp.Solver) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					// Indices are claimed in ascending order, so once i cannot
+					// beat the recorded minimum no later claim can either.
+					if i >= len(configs) || int64(i) > minIdx.Load() {
+						return
+					}
+					if pl, ok := sol.Pack(y, configs[i]); ok {
+						mu.Lock()
+						if i < bestIdx {
+							bestIdx = i
+							bestPl = pl.Clone()
+							minIdx.Store(int64(i))
+						}
+						mu.Unlock()
+						return // any further claim would be a larger index
+					}
+				}
+			}(solvers[w])
+		}
+		wg.Wait()
+		if bestPl != nil {
+			return bestPl, true
+		}
+		return nil, false
+	})
+}
+
+// NewSolverPool returns n independent solvers for p (n <= 0 selects
+// GOMAXPROCS), the worker set for MetaDeterministicSolvers; rebind each of
+// them after mutating the problem.
+func NewSolverPool(p *core.Problem, n int) []*vp.Solver {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	solvers := make([]*vp.Solver, n)
+	for i := range solvers {
+		solvers[i] = vp.NewSolver(p)
+	}
+	return solvers
+}
+
 // MetaParallel runs a meta algorithm with the binary-search step evaluated
 // by a pool of workers racing over the strategy list: a step succeeds as
 // soon as any worker packs the instance. Results are identical to the

@@ -7,11 +7,11 @@
 package milp
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
 
+	"vmalloc/internal/heapx"
 	"vmalloc/internal/lp"
 )
 
@@ -88,18 +88,10 @@ type node struct {
 	warm *lp.Basis
 }
 
-type nodeQueue []*node
-
-func (q nodeQueue) Len() int            { return len(q) }
-func (q nodeQueue) Less(i, j int) bool  { return q[i].bound > q[j].bound } // best bound first
-func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
-func (q *nodeQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+// newNodeQueue orders open nodes best bound first (max-heap on bound via the
+// shared generic min-heap helper).
+func newNodeQueue() *heapx.Heap[*node] {
+	return heapx.New(func(a, b *node) bool { return a.bound > b.bound })
 }
 
 // Solve runs best-first branch and bound. The relaxation at each node is the
@@ -138,17 +130,15 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 	}
 
 	sol := &Solution{Status: NodeLimit, Objective: math.Inf(-1), Bound: math.Inf(1)}
-	q := &nodeQueue{}
-	heap.Push(q, &node{bound: math.Inf(1)})
+	q := newNodeQueue()
+	q.Push(&node{bound: math.Inf(1)})
 
 	for q.Len() > 0 {
 		if sol.Nodes >= maxNodes {
-			if q.Len() > 0 {
-				sol.Bound = (*q)[0].bound
-			}
+			sol.Bound = q.Peek().bound
 			return sol, nil
 		}
-		nd := heap.Pop(q).(*node)
+		nd := q.Pop()
 		if nd.bound <= sol.Objective+1e-12 && sol.HasIncumbent {
 			continue // pruned by incumbent
 		}
@@ -191,8 +181,8 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 		}
 		lo := &node{fix0: append(append([]int(nil), nd.fix0...), branch), fix1: nd.fix1, bound: rel.Objective, warm: warm}
 		hi := &node{fix0: nd.fix0, fix1: append(append([]int(nil), nd.fix1...), branch), bound: rel.Objective, warm: warm}
-		heap.Push(q, lo)
-		heap.Push(q, hi)
+		q.Push(lo)
+		q.Push(hi)
 	}
 
 	if sol.HasIncumbent {

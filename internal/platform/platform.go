@@ -5,21 +5,30 @@
 // depart over time, CPU-need estimates are noisy, and the error-mitigation
 // threshold can adapt to the observed estimation error.
 //
-// The simulator maintains the true and estimated problem views, admits
-// arrivals with a best-fit admission test, reallocates every epoch with the
-// configured placer (counting migrations), and samples achieved yields under
-// the work-conserving ALLOCWEIGHTS policy between epochs.
+// The simulator is a thin driver over the persistent allocation engine
+// (internal/engine): the engine owns the live cluster state — slab-resident
+// services, incrementally maintained per-node loads, recycled problem views
+// and long-lived solver arenas — while the simulator owns time: the event
+// queue, the workload generator, the estimation-error window and the
+// adaptive-threshold controller. Admission uses the engine's best-fit test,
+// reallocation happens every epoch through the engine (full meta
+// reallocation or migration-bounded repair), and achieved yields are sampled
+// under the work-conserving ALLOCWEIGHTS policy. For a fixed seed the
+// trajectory is deterministic regardless of Parallel/Workers, and the
+// golden-trajectory tests pin it bit for bit against the historical
+// rebuild-per-epoch simulator at the acceptance-scale seeds (see the
+// internal/engine doc for the one ULP-level caveat on admission ties).
 package platform
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"vmalloc/internal/core"
+	"vmalloc/internal/engine"
+	"vmalloc/internal/heapx"
 	"vmalloc/internal/hvp"
-	"vmalloc/internal/opt"
 	"vmalloc/internal/sched"
 	"vmalloc/internal/vec"
 	"vmalloc/internal/workload"
@@ -28,7 +37,9 @@ import (
 // Placer computes a placement from the (estimated) problem view.
 type Placer func(p *core.Problem) *core.Result
 
-// DefaultPlacer is METAHVPLIGHT at the paper's tolerance.
+// DefaultPlacer is METAHVPLIGHT at the paper's tolerance — the algorithm the
+// engine's persistent path reproduces exactly; set Config.Placer only to
+// override it.
 func DefaultPlacer(p *core.Problem) *core.Result { return hvp.MetaHVPLight(p, 0) }
 
 // AdaptiveThreshold requests the feedback controller of §8: the mitigation
@@ -57,7 +68,7 @@ type Config struct {
 	Threshold float64
 	// SafetyFactor scales the adaptive threshold (default 1.0).
 	SafetyFactor float64
-	// Placer computes placements (DefaultPlacer when nil).
+	// Placer overrides the engine's built-in METAHVPLIGHT reallocation.
 	Placer Placer
 	// UseRepair switches epochs from full reallocation to migration-bounded
 	// incremental repair (internal/opt): still-feasible services stay put,
@@ -66,6 +77,12 @@ type Config struct {
 	// MigrationBudget caps migrations per repair epoch (negative =
 	// unlimited). Ignored unless UseRepair is set.
 	MigrationBudget int
+	// Parallel races the reallocation strategy roster across Workers
+	// goroutines inside the engine. The deterministic lowest-index-success
+	// reduction keeps the trajectory bit-identical to the sequential run.
+	Parallel bool
+	// Workers is the parallel worker count; <= 0 selects GOMAXPROCS.
+	Workers int
 	// Seed drives all randomness.
 	Seed int64
 	// Google overrides the service-size marginals (DefaultGoogle when nil).
@@ -131,49 +148,30 @@ const (
 type event struct {
 	t    float64
 	kind int
-	id   int // service id for departures
+	id   int // engine service id for departures
 	seq  int // tie-breaker for deterministic ordering
 }
 
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].t != q[j].t {
-		return q[i].t < q[j].t
+// eventLess orders events by time, ties broken by insertion sequence — a
+// total order, so the generic heap pops the exact sequence the historical
+// container/heap implementation did.
+func eventLess(a, b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+	return a.seq < b.seq
 }
 
-// liveService is one hosted service with its true and estimated views.
-type liveService struct {
-	id       int
-	trueSvc  core.Service
-	estSvc   core.Service
-	node     int
-	arrived  float64
-	departAt float64
-}
-
-// sim is the mutable simulation state.
+// sim owns simulated time and the workload; cluster state lives in the
+// engine.
 type sim struct {
 	cfg    Config
 	rng    *rand.Rand
 	now    float64
-	queue  eventQueue
+	queue  *heapx.Heap[event]
 	seq    int
-	live   map[int]*liveService
-	order  []int // live service ids in arrival order (stable problem views)
-	nextID int
+	eng    *engine.Engine
+	nextID int // names arriving services (rejected ones consume a number too)
 	stats  Stats
 	// observed estimation errors of departed services, for adaptation
 	errWindow []float64
@@ -187,9 +185,6 @@ func Run(cfg Config) (*Stats, error) {
 	}
 	if cfg.ArrivalRate <= 0 || cfg.MeanLifetime <= 0 || cfg.Horizon <= 0 || cfg.Epoch <= 0 {
 		return nil, fmt.Errorf("platform: rates, horizon and epoch must be positive")
-	}
-	if cfg.Placer == nil {
-		cfg.Placer = DefaultPlacer
 	}
 	if cfg.Google == nil {
 		cfg.Google = workload.DefaultGoogle()
@@ -206,10 +201,21 @@ func Run(cfg Config) (*Stats, error) {
 		cfg.MeanCPUNeed = 0.7 * totalCPU / math.Max(steady, 1)
 	}
 
+	eng, err := engine.New(engine.Config{
+		Nodes:    cfg.Nodes,
+		CPUDim:   workload.CPU,
+		Placer:   engine.Placer(cfg.Placer),
+		Parallel: cfg.Parallel,
+		Workers:  cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("platform: %v", err)
+	}
 	s := &sim{
-		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
-		live: map[int]*liveService{},
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		queue: heapx.New(eventLess),
+		eng:   eng,
 	}
 	if cfg.Threshold == AdaptiveThreshold {
 		s.threshold = 0
@@ -221,7 +227,7 @@ func Run(cfg Config) (*Stats, error) {
 	s.push(event{t: cfg.Epoch, kind: evEpoch})
 
 	for s.queue.Len() > 0 {
-		ev := heap.Pop(&s.queue).(event)
+		ev := s.queue.Pop()
 		if ev.t > cfg.Horizon {
 			break
 		}
@@ -243,7 +249,7 @@ func Run(cfg Config) (*Stats, error) {
 func (s *sim) push(ev event) {
 	ev.seq = s.seq
 	s.seq++
-	heap.Push(&s.queue, ev)
+	s.queue.Push(ev)
 }
 
 // expo draws an exponential variate with the given mean.
@@ -252,8 +258,10 @@ func (s *sim) expo(mean float64) float64 {
 }
 
 // newService draws a service from the Google marginals with CPU needs scaled
-// to the configured mean and a perturbed estimate.
-func (s *sim) newService() *liveService {
+// to the configured mean and a perturbed estimate, plus its departure time.
+// The draw sequence (core count, memory, estimate error, lifetime) is part
+// of the pinned trajectory contract.
+func (s *sim) newService() (trueSvc, estSvc core.Service, departAt float64) {
 	g := s.cfg.Google
 	cores := g.CoreChoices[0]
 	{ // inline categorical draw (mirrors workload.sampleCores)
@@ -286,14 +294,14 @@ func (s *sim) newService() *liveService {
 		meanCores /= tw
 	}
 	needCPU := s.cfg.MeanCPUNeed * float64(cores) / meanCores
-	trueSvc := core.Service{
+	trueSvc = core.Service{
 		Name:     fmt.Sprintf("svc-%d", s.nextID),
 		ReqElem:  vec.Of(g.ElemCPURequirement, mem),
 		ReqAgg:   vec.Of(g.ElemCPURequirement, mem),
 		NeedElem: vec.Of(needCPU/float64(cores), 0),
 		NeedAgg:  vec.Of(needCPU, 0),
 	}
-	estSvc := trueSvc
+	estSvc = trueSvc
 	estSvc.ReqElem = trueSvc.ReqElem.Clone()
 	estSvc.ReqAgg = trueSvc.ReqAgg.Clone()
 	estSvc.NeedElem = trueSvc.NeedElem.Clone()
@@ -304,102 +312,37 @@ func (s *sim) newService() *liveService {
 		estSvc.NeedAgg[workload.CPU] = est
 		estSvc.NeedElem[workload.CPU] = est / float64(cores)
 	}
-	ls := &liveService{
-		id:       s.nextID,
-		trueSvc:  trueSvc,
-		estSvc:   estSvc,
-		node:     core.Unplaced,
-		arrived:  s.now,
-		departAt: s.now + s.expo(s.cfg.MeanLifetime),
-	}
 	s.nextID++
-	return ls
+	return trueSvc, estSvc, s.now + s.expo(s.cfg.MeanLifetime)
 }
 
-// problemViews builds the true and estimated problems over live services in
-// arrival order, applying the current mitigation threshold to estimates.
-// The returned index slice maps problem service positions to live ids.
-func (s *sim) problemViews() (trueP, estP *core.Problem, ids []int) {
-	trueP = &core.Problem{Nodes: s.cfg.Nodes}
-	estP = &core.Problem{Nodes: s.cfg.Nodes}
-	for _, id := range s.order {
-		ls := s.live[id]
-		trueP.Services = append(trueP.Services, ls.trueSvc)
-		estP.Services = append(estP.Services, ls.estSvc)
-		ids = append(ids, id)
-	}
-	if s.threshold > 0 {
-		estP = sched.ApplyThreshold(estP, workload.CPU, s.threshold)
-	}
-	return trueP, estP, ids
-}
-
-// currentPlacement extracts the placement of the live services (ids order).
-func (s *sim) currentPlacement(ids []int) core.Placement {
-	pl := core.NewPlacement(len(ids))
-	for i, id := range ids {
-		pl[i] = s.live[id].node
-	}
-	return pl
-}
-
-// arrive admits a new service with a best-fit test on its (thresholded)
-// estimate against current requirement loads; rejection counts but does not
+// arrive admits a new service through the engine's best-fit test against its
+// incrementally maintained requirement loads; rejection counts but does not
 // stop the simulation.
 func (s *sim) arrive() {
 	s.stats.Arrivals++
-	ls := s.newService()
-	// Requirement loads by node.
-	loads := make([]vec.Vec, len(s.cfg.Nodes))
-	for h := range loads {
-		loads[h] = vec.New(workload.Dims)
-	}
-	for _, id := range s.order {
-		l := s.live[id]
-		if l.node >= 0 {
-			loads[l.node].AccumAdd(l.trueSvc.ReqAgg)
-		}
-	}
-	// Best fit: feasible node with least remaining capacity (sum).
-	best, bestScore := -1, math.Inf(1)
-	for h := range s.cfg.Nodes {
-		if !ls.trueSvc.FitsRequirements(&s.cfg.Nodes[h], loads[h]) {
-			continue
-		}
-		rem := s.cfg.Nodes[h].Aggregate.Sub(loads[h]).Sum()
-		if rem < bestScore {
-			best, bestScore = h, rem
-		}
-	}
-	if best < 0 {
+	trueSvc, estSvc, departAt := s.newService()
+	id, _, ok := s.eng.Add(trueSvc, estSvc)
+	if !ok {
 		s.stats.Rejections++
 		return
 	}
-	ls.node = best
-	s.live[ls.id] = ls
-	s.order = append(s.order, ls.id)
-	s.push(event{t: ls.departAt, kind: evDeparture, id: ls.id})
+	s.push(event{t: departAt, kind: evDeparture, id: id})
 }
 
 // depart removes a service and records its estimation error for adaptation.
 func (s *sim) depart(id int) {
-	ls, ok := s.live[id]
+	trueSvc, estSvc, ok := s.eng.Service(id)
 	if !ok {
-		return // was rejected or already gone
+		return // already gone
 	}
 	s.stats.Departures++
-	errAbs := math.Abs(ls.estSvc.NeedAgg[workload.CPU] - ls.trueSvc.NeedAgg[workload.CPU])
+	errAbs := math.Abs(estSvc.NeedAgg[workload.CPU] - trueSvc.NeedAgg[workload.CPU])
 	s.errWindow = append(s.errWindow, errAbs)
 	if len(s.errWindow) > 64 {
 		s.errWindow = s.errWindow[len(s.errWindow)-64:]
 	}
-	delete(s.live, id)
-	for i, v := range s.order {
-		if v == id {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
-		}
-	}
+	s.eng.Remove(id)
 }
 
 // adaptThreshold updates the mitigation threshold from the observed error
@@ -417,45 +360,35 @@ func (s *sim) adaptThreshold() {
 	s.threshold = s.cfg.SafetyFactor * maxErr
 }
 
-// reallocate runs the placer on the estimated view, applies the new
-// placement (counting migrations) and samples achieved yields.
+// reallocate runs one engine epoch (full reallocation or bounded repair),
+// then samples achieved yields on the engine's views.
 func (s *sim) reallocate() {
 	s.adaptThreshold()
-	trueP, estP, ids := s.problemViews()
-	sample := Sample{Time: s.now, Services: len(ids), Threshold: s.threshold}
-	if len(ids) == 0 {
+	s.eng.SetThreshold(s.threshold)
+	sample := Sample{Time: s.now, Services: s.eng.Len(), Threshold: s.threshold}
+	if sample.Services == 0 {
 		sample.Solved = true
 		s.stats.Samples = append(s.stats.Samples, sample)
 		return
 	}
 	s.stats.Reallocs++
-	var res *core.Result
+	var rep *engine.EpochReport
 	if s.cfg.UseRepair {
-		res = opt.Repair(estP, s.currentPlacement(ids), &opt.RepairOptions{
-			Budget:  s.cfg.MigrationBudget,
-			Improve: true,
-		})
+		rep = s.eng.Repair(s.cfg.MigrationBudget)
 	} else {
-		res = s.cfg.Placer(estP)
+		rep = s.eng.Reallocate()
 	}
+	res := rep.Result
+	trueP, estP := s.eng.TrueView(), s.eng.EstView()
 	if !res.Solved {
 		// Keep the previous placement; evaluate it as-is.
 		s.stats.FailedEpoch++
-		pl := s.currentPlacement(ids)
-		sample.MinYield = sched.EvaluatePlacement(trueP, estP, pl, sched.AllocWeights, workload.CPU)
+		sample.MinYield = sched.EvaluatePlacement(trueP, estP, s.eng.ViewPlacement(), sched.AllocWeights, workload.CPU)
 		s.stats.Samples = append(s.stats.Samples, sample)
 		return
 	}
-	for i, id := range ids {
-		ls := s.live[id]
-		if ls.node != res.Placement[i] {
-			if ls.node >= 0 {
-				sample.Migrations++
-			}
-			ls.node = res.Placement[i]
-		}
-	}
-	s.stats.Migrations += sample.Migrations
+	sample.Migrations = rep.Migrations
+	s.stats.Migrations += rep.Migrations
 	sample.Solved = true
 	sample.MinYield = sched.EvaluatePlacement(trueP, estP, res.Placement, sched.AllocWeights, workload.CPU)
 	// Mean yield under max-uniform-yield evaluation of the true problem.

@@ -1,0 +1,36 @@
+package sliceutil
+
+import "testing"
+
+func TestGrowReusesAndReallocates(t *testing.T) {
+	s := make([]int, 0, 8)
+	s = append(s, 1, 2, 3)
+	g := Grow(s, 5)
+	if len(g) != 5 || cap(g) != 8 {
+		t.Fatalf("len=%d cap=%d, want 5/8", len(g), cap(g))
+	}
+	if g[0] != 1 || g[2] != 3 {
+		t.Fatal("reuse dropped existing elements")
+	}
+	big := Grow(g, 20)
+	if len(big) != 20 || cap(big) != 40 {
+		t.Fatalf("len=%d cap=%d, want 20/40", len(big), cap(big))
+	}
+	if Grow([]string(nil), 0) == nil {
+		// zero-length grow of nil may stay nil; both are fine as long as
+		// len is 0 — just document the behavior here.
+		t.Log("nil in, nil out")
+	}
+}
+
+type named []float64
+
+func TestGrowPreservesNamedTypes(t *testing.T) {
+	var v named
+	v = Grow(v, 4)
+	if len(v) != 4 {
+		t.Fatalf("len %d, want 4", len(v))
+	}
+	// The returned value must still be the named type (compile-time check).
+	var _ named = Grow(v, 2)
+}

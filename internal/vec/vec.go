@@ -82,6 +82,13 @@ func (v Vec) AccumAdd(w Vec) {
 	}
 }
 
+// Zero clears v in place.
+func (v Vec) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
 // AccumSub subtracts w from v in place.
 func (v Vec) AccumSub(w Vec) {
 	mustMatch(v, w)

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"vmalloc/internal/core"
+	"vmalloc/internal/sliceutil"
 	"vmalloc/internal/vec"
 )
 
@@ -44,9 +45,14 @@ type Solver struct {
 	itemOrders map[Order]*itemOrderEntry
 
 	// Yield-1 demand vectors (r+n) and yield-0 requirement views, built
-	// lazily for yield-invariance detection of item orders.
-	demandVecs []vec.Vec
-	reqVecs    []vec.Vec
+	// lazily for yield-invariance detection of item orders; endpointBuf backs
+	// demandVecs and survives Rebind, permBuf is the endpoint-permutation
+	// scratch of invariance detection.
+	demandVecs    []vec.Vec
+	reqVecs       []vec.Vec
+	endpointBuf   []float64
+	permBuf       []int
+	haveEndpoints bool
 
 	// itemRank[j] ranks item j's aggregate dimensions descending; valid for
 	// the current yield when haveItemRank.
@@ -118,6 +124,61 @@ func NewSolver(p *core.Problem) *Solver {
 
 // Problem returns the problem this solver packs.
 func (s *Solver) Problem() *core.Problem { return s.p }
+
+// Rebind re-points the solver at problem p after its service list changed,
+// reusing every backing array whose capacity still suffices and every cache
+// that does not depend on the service list. The platform must be unchanged:
+// same node count, dimensionality and capacity vectors (value-checked).
+// Under that contract the bin-order permutations and capacity totals carry
+// over verbatim, while all per-service state — instance arena, demand
+// totals, item-order entries with their yield-invariance proofs, item ranks
+// and fit caches — is rebuilt for the new list. Typically p is the same
+// *core.Problem the solver was constructed on with Services rewritten in
+// place between epochs of an online cluster; a rebound solver behaves
+// exactly like a freshly constructed one, at amortized zero allocation.
+func (s *Solver) Rebind(p *core.Problem) {
+	d := s.p.Dim()
+	if p.NumNodes() != s.p.NumNodes() || p.Dim() != d {
+		panic("vp: Rebind requires an unchanged platform shape")
+	}
+	for h := range s.caps {
+		agg := p.Nodes[h].Aggregate
+		for dd := 0; dd < d; dd++ {
+			if s.caps[h][dd] != agg[dd] {
+				panic("vp: Rebind requires unchanged node capacities")
+			}
+		}
+		s.caps[h] = agg
+	}
+	s.p = p
+	s.inst.Rebind(p)
+	j := p.NumServices()
+	for dd := 0; dd < d; dd++ {
+		s.reqTotal[dd], s.needTotal[dd] = 0, 0
+	}
+	for i := range p.Services {
+		svc := &p.Services[i]
+		for dd := 0; dd < d; dd++ {
+			s.reqTotal[dd] += svc.ReqAgg[dd]
+			s.needTotal[dd] += svc.NeedAgg[dd]
+		}
+	}
+	s.haveEndpoints = false
+	for o, e := range s.itemOrders {
+		s.initItemOrderEntry(o, e)
+	}
+	if s.itemRank != nil {
+		s.itemRankBuf = sliceutil.Grow(s.itemRankBuf, j*d)
+		s.itemRank = sliceutil.Grow(s.itemRank, j)
+		for i := 0; i < j; i++ {
+			s.itemRank[i] = s.itemRankBuf[i*d : (i+1)*d]
+		}
+	}
+	s.haveItemRank = false
+	s.elemFit = sliceutil.Grow(s.elemFit, j*p.NumNodes())
+	s.haveElemFit = false
+	s.haveYield = false // force an instance Reset on the next prepare
+}
 
 // Pack attempts to pack every service at yield y under strategy c. The
 // returned placement is a view into the solver's arena: it is valid only
@@ -287,24 +348,34 @@ func (s *Solver) itemOrderPerm(o Order) []int {
 // MAXDIFFERENCE are only piecewise linear in y and may genuinely dip
 // between endpoints, so they are never treated as invariant.
 func (s *Solver) newItemOrderEntry(o Order) *itemOrderEntry {
+	e := &itemOrderEntry{}
+	s.initItemOrderEntry(o, e)
+	return e
+}
+
+// initItemOrderEntry (re)builds an order-cache entry against the solver's
+// current service list, re-running invariance detection; Rebind re-inits
+// every cached entry through here so stale permutations and stale invariance
+// proofs can never leak across epochs.
+func (s *Solver) initItemOrderEntry(o Order, e *itemOrderEntry) {
 	j := s.p.NumServices()
-	e := &itemOrderEntry{perm: make([]int, j)}
+	e.perm = sliceutil.Grow(e.perm, j)
+	e.invariant, e.valid = false, false
 	if o.None {
 		o.SortInto(e.perm, s.inst.ItemAgg)
 		e.invariant, e.valid = true, true
-		return e
+		return
 	}
 	if o.Metric == vec.MetricSum || o.Metric == vec.MetricLex {
 		s.ensureEndpointVecs()
-		permAt1 := make([]int, j)
+		s.permBuf = sliceutil.Grow(s.permBuf, j)
+		permAt1 := s.permBuf
 		o.SortInto(e.perm, s.reqVecs)
 		o.SortInto(permAt1, s.demandVecs)
 		if equalPerms(e.perm, permAt1) && s.orderYieldInvariant(o, e.perm) {
 			e.invariant, e.valid = true, true
-			return e
 		}
 	}
-	return e
 }
 
 func equalPerms(a, b []int) bool {
@@ -392,25 +463,27 @@ func (s *Solver) orderYieldInvariant(o Order, perm []int) bool {
 }
 
 // ensureEndpointVecs lazily builds the item vectors at the bracket endpoints
-// y=0 (requirements) and y=1 (requirements plus needs).
+// y=0 (requirements) and y=1 (requirements plus needs), reusing the backing
+// buffer across Rebind cycles.
 func (s *Solver) ensureEndpointVecs() {
-	if s.reqVecs != nil {
+	if s.haveEndpoints {
 		return
 	}
 	d := s.p.Dim()
 	j := s.p.NumServices()
-	s.reqVecs = make([]vec.Vec, j)
-	s.demandVecs = make([]vec.Vec, j)
-	buf := make([]float64, j*d)
+	s.reqVecs = sliceutil.Grow(s.reqVecs, j)
+	s.demandVecs = sliceutil.Grow(s.demandVecs, j)
+	s.endpointBuf = sliceutil.Grow(s.endpointBuf, j*d)
 	for i := 0; i < j; i++ {
 		svc := &s.p.Services[i]
 		s.reqVecs[i] = svc.ReqAgg
-		dem := vec.Vec(buf[i*d : (i+1)*d])
+		dem := vec.Vec(s.endpointBuf[i*d : (i+1)*d])
 		for dd := range dem {
 			dem[dd] = svc.ReqAgg[dd] + 1*svc.NeedAgg[dd]
 		}
 		s.demandVecs[i] = dem
 	}
+	s.haveEndpoints = true
 }
 
 // itemRanks returns the per-item descending dimension rankings for the

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"vmalloc/internal/core"
+	"vmalloc/internal/sliceutil"
 	"vmalloc/internal/vec"
 )
 
@@ -147,6 +148,27 @@ func (inst *Instance) Reset(y float64) {
 		}
 	}
 	inst.Clear()
+}
+
+// Rebind re-points the instance at p after its service list changed, reusing
+// the flat backing arrays whenever their capacity suffices (growth is
+// amortized ×2, so steady-state online churn allocates nothing). The node
+// count and dimensionality must be unchanged. Item vectors and placement
+// state are left stale: callers must Reset before packing.
+func (inst *Instance) Rebind(p *core.Problem) {
+	d := p.Dim()
+	j := p.NumServices()
+	inst.P = p
+	inst.aggBuf = sliceutil.Grow(inst.aggBuf, j*d)
+	inst.elemBuf = sliceutil.Grow(inst.elemBuf, j*d)
+	inst.ItemAgg = sliceutil.Grow(inst.ItemAgg, j)
+	inst.ItemElem = sliceutil.Grow(inst.ItemElem, j)
+	for i := 0; i < j; i++ {
+		inst.ItemAgg[i] = vec.Vec(inst.aggBuf[i*d : (i+1)*d])
+		inst.ItemElem[i] = vec.Vec(inst.elemBuf[i*d : (i+1)*d])
+	}
+	inst.placed = sliceutil.Grow(inst.placed, j)
+	inst.Placement = sliceutil.Grow(inst.Placement, j)
 }
 
 // Clear empties every bin, keeping the frozen yield and item vectors: the
@@ -395,8 +417,18 @@ func MetaConfigs(p *core.Problem, configs []Config, tol float64) *core.Result {
 // Each step first runs the O(J·H·D) StepFeasible necessary-condition check:
 // a step no strategy can win is declared failed without packing at all.
 func MetaConfigsOpt(p *core.Problem, configs []Config, opts SearchOptions) *core.Result {
-	s := NewSolver(p)
-	return SearchMaxYieldOpt(p, opts, func(y float64) (core.Placement, bool) {
+	return MetaConfigsSolver(NewSolver(p), configs, opts)
+}
+
+// MetaConfigsSolver is MetaConfigsOpt on a caller-owned Solver. Long-lived
+// callers that re-solve a mutating problem (online engines reallocating
+// every epoch) hold one Solver for the cluster lifetime, Rebind it after
+// editing the service list, and run the meta search here with warm bin-order
+// caches and no per-epoch arena allocation. The strategy sweep is the exact
+// sequential first-success scan of MetaConfigs, so results are identical to
+// a fresh MetaConfigsOpt on the same problem.
+func MetaConfigsSolver(s *Solver, configs []Config, opts SearchOptions) *core.Result {
+	return SearchMaxYieldOpt(s.Problem(), opts, func(y float64) (core.Placement, bool) {
 		if !s.StepFeasible(y) {
 			return nil, false
 		}
