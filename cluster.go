@@ -1,12 +1,17 @@
 package vmalloc
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"vmalloc/internal/engine"
 	"vmalloc/internal/vec"
 )
+
+// ErrUnknownService marks operations addressing a service id that is not
+// live; match with errors.Is.
+var ErrUnknownService = errors.New("no live service")
 
 // Cluster is the persistent online allocation engine: a long-lived view of a
 // hosting platform whose services arrive, depart and change needs over time,
@@ -24,7 +29,8 @@ import (
 // same cluster history (the parallel sweep keeps the lowest-index success).
 // A Cluster is not safe for concurrent use.
 type Cluster struct {
-	eng *engine.Engine
+	eng  *engine.Engine
+	hook func(*ClusterEvent)
 }
 
 // ClusterOptions tunes a Cluster. The zero value (nil pointer) selects the
@@ -82,8 +88,11 @@ func NewCluster(nodes []Node, opts *ClusterOptions) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng.SetThreshold(opts.Threshold)
-	return &Cluster{eng: eng}, nil
+	c := &Cluster{eng: eng}
+	if err := c.SetThreshold(opts.Threshold); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // validateService mirrors the structural checks Problem.Validate applies,
@@ -135,12 +144,22 @@ func (c *Cluster) AddWithEstimate(trueSvc, estSvc Service) (id int, ok bool, err
 	if err := c.validateService("estimated", estSvc); err != nil {
 		return 0, false, err
 	}
-	id, _, ok = c.eng.Add(trueSvc, estSvc)
+	id, node, ok := c.eng.Add(trueSvc, estSvc)
+	if ok && c.hook != nil {
+		ts, es, _ := c.eng.Service(id)
+		c.hook(&ClusterEvent{Op: ClusterOpAdd, ID: id, Node: node, TrueSvc: &ts, EstSvc: &es})
+	}
 	return id, ok, nil
 }
 
 // Remove departs a live service in O(1). It reports whether id was live.
-func (c *Cluster) Remove(id int) bool { return c.eng.Remove(id) }
+func (c *Cluster) Remove(id int) bool {
+	ok := c.eng.Remove(id)
+	if ok && c.hook != nil {
+		c.hook(&ClusterEvent{Op: ClusterOpRemove, ID: id})
+	}
+	return ok
+}
 
 // UpdateNeeds replaces the fluid needs (true and estimated) of a live
 // service; rigid requirements cannot change in place. It returns an error
@@ -167,7 +186,11 @@ func (c *Cluster) UpdateNeeds(id int, trueNeedElem, trueNeedAgg, estNeedElem, es
 	}
 	if !c.eng.UpdateNeeds(id, vec.Vec(trueNeedElem), vec.Vec(trueNeedAgg),
 		vec.Vec(estNeedElem), vec.Vec(estNeedAgg)) {
-		return fmt.Errorf("vmalloc: no live service with id %d", id)
+		return fmt.Errorf("vmalloc: %w with id %d", ErrUnknownService, id)
+	}
+	if c.hook != nil {
+		c.hook(&ClusterEvent{Op: ClusterOpUpdateNeeds, ID: id,
+			Needs: [4]Vec{trueNeedElem, trueNeedAgg, estNeedElem, estNeedAgg}})
 	}
 	return nil
 }
@@ -179,19 +202,56 @@ func (c *Cluster) Len() int { return c.eng.Len() }
 func (c *Cluster) Node(id int) (int, bool) { return c.eng.Node(id) }
 
 // SetThreshold sets the §6.2 mitigation threshold applied to estimated CPU
-// needs when views are built for the next epoch (0 disables).
-func (c *Cluster) SetThreshold(th float64) { c.eng.SetThreshold(th) }
+// needs when views are built for the next epoch (0 disables). Negative or
+// non-finite values are rejected — a poisoned threshold would journal and
+// snapshot cleanly here but fail state validation at recovery, bricking the
+// durable tier's directory.
+func (c *Cluster) SetThreshold(th float64) error {
+	if th < 0 || math.IsNaN(th) || math.IsInf(th, 0) {
+		return fmt.Errorf("vmalloc: threshold %g invalid (want a finite value >= 0)", th)
+	}
+	c.eng.SetThreshold(th)
+	if c.hook != nil {
+		c.hook(&ClusterEvent{Op: ClusterOpSetThreshold, Threshold: th})
+	}
+	return nil
+}
 
 // Reallocate runs one full reallocation epoch with the configured placer
 // over the estimated view, applying the new placement and counting
 // migrations. On failure the previous placement is kept.
-func (c *Cluster) Reallocate() *ClusterEpoch { return clusterEpoch(c.eng.Reallocate()) }
+func (c *Cluster) Reallocate() *ClusterEpoch {
+	ce := clusterEpoch(c.eng.Reallocate())
+	c.emitEpoch(ce, false, 0)
+	return ce
+}
 
 // Repair runs one migration-bounded incremental epoch: still-feasible
 // services stay put, new or displaced services are re-placed by best fit,
 // and at most budget previously-placed services move (negative =
 // unlimited), followed by budget-aware local search.
-func (c *Cluster) Repair(budget int) *ClusterEpoch { return clusterEpoch(c.eng.Repair(budget)) }
+func (c *Cluster) Repair(budget int) *ClusterEpoch {
+	ce := clusterEpoch(c.eng.Repair(budget))
+	c.emitEpoch(ce, true, budget)
+	return ce
+}
+
+// emitEpoch reports an applied (solved, non-empty) epoch through the hook.
+// Failed epochs change no state and are not journaled.
+func (c *Cluster) emitEpoch(ce *ClusterEpoch, repair bool, budget int) {
+	if c.hook == nil || !ce.Result.Solved || len(ce.IDs) == 0 {
+		return
+	}
+	c.hook(&ClusterEvent{
+		Op:         ClusterOpEpoch,
+		IDs:        ce.IDs,
+		Placement:  ce.Result.Placement,
+		Repair:     repair,
+		Budget:     budget,
+		Migrations: ce.Migrations,
+		MinYield:   ce.Result.MinYield,
+	})
+}
 
 // Snapshot returns a detached copy of the cluster: the true problem view,
 // the current placement and the live service ids, aligned index by index.

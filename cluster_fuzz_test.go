@@ -1,0 +1,111 @@
+package vmalloc
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzClusterAdd throws arbitrary service vectors — including NaN, Inf,
+// negatives and wrong dimensionalities — at the public admission boundary.
+// The contract: malformed input comes back as an error (never a panic, never
+// silent acceptance), and well-formed input never errors. This is the
+// validation the durable tier relies on so no poisoned vector is ever
+// journaled.
+func FuzzClusterAdd(f *testing.F) {
+	f.Add(0.1, 0.1, 0.1, 0.1, 0.2, 0.0, 0.2, 0.0, false)
+	f.Add(math.NaN(), 0.1, 0.1, 0.1, 0.2, 0.0, 0.2, 0.0, false)
+	f.Add(0.1, 0.1, math.Inf(1), 0.1, 0.2, 0.0, 0.2, 0.0, false)
+	f.Add(-0.5, 0.1, 0.1, 0.1, 0.2, 0.0, 0.2, 0.0, false)
+	f.Add(0.1, 0.1, 0.1, 0.1, 0.2, 0.0, -1e300, 0.0, true)
+	f.Add(1e308, 1e308, 1e308, 1e308, 1e308, 1e308, 1e308, 1e308, false)
+	f.Fuzz(func(t *testing.T, re1, re2, ra1, ra2, ne1, ne2, na1, na2 float64, threeDim bool) {
+		c, err := NewCluster([]Node{
+			{Elementary: Of(1, 1), Aggregate: Of(4, 2)},
+			{Elementary: Of(0.5, 0.5), Aggregate: Of(2, 1)},
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqElem, reqAgg := Of(re1, re2), Of(ra1, ra2)
+		needElem, needAgg := Of(ne1, ne2), Of(na1, na2)
+		if threeDim {
+			needAgg = Of(na1, na2, 0) // dimensionality mismatch
+		}
+		svc := Service{ReqElem: reqElem, ReqAgg: reqAgg, NeedElem: needElem, NeedAgg: needAgg}
+
+		valid := !threeDim
+		for _, x := range []float64{re1, re2, ra1, ra2, ne1, ne2, na1, na2} {
+			if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				valid = false
+			}
+		}
+		id, ok, err := c.Add(svc)
+		if valid && err != nil {
+			t.Fatalf("well-formed service rejected with error: %v", err)
+		}
+		if !valid && err == nil {
+			t.Fatalf("malformed service accepted (ok=%v)", ok)
+		}
+		if err != nil && ok {
+			t.Fatal("error and ok both set")
+		}
+		if err != nil && c.Len() != 0 {
+			t.Fatal("failed admission mutated the cluster")
+		}
+		if ok {
+			// An admitted service is fully live: present, placed, removable.
+			if _, found := c.Node(id); !found {
+				t.Fatal("admitted service has no node")
+			}
+			// The same vectors must survive the state round trip.
+			st := c.State()
+			if len(st.Services) != 1 || st.Services[0].ID != id {
+				t.Fatalf("state does not show the admitted service: %+v", st.Services)
+			}
+			if !c.Remove(id) {
+				t.Fatal("admitted service not removable")
+			}
+		}
+		// The cluster stays usable either way.
+		if ep := c.Reallocate(); !ep.Result.Solved && c.Len() > 0 {
+			t.Fatal("post-fuzz reallocation failed on live services")
+		}
+	})
+}
+
+// FuzzClusterUpdateNeeds covers the other vector-accepting mutation.
+func FuzzClusterUpdateNeeds(f *testing.F) {
+	f.Add(0.1, 0.0, 0.1, 0.0)
+	f.Add(math.NaN(), 0.0, 0.1, 0.0)
+	f.Add(0.1, math.Inf(-1), 0.1, 0.0)
+	f.Add(-1.0, 0.0, 0.1, 0.0)
+	f.Fuzz(func(t *testing.T, a, b, c1, d float64) {
+		c, err := NewCluster([]Node{{Elementary: Of(1, 1), Aggregate: Of(4, 2)}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, ok, err := c.Add(Service{
+			ReqElem: Of(0.1, 0.1), ReqAgg: Of(0.1, 0.1),
+			NeedElem: Of(0.1, 0), NeedAgg: Of(0.1, 0),
+		})
+		if err != nil || !ok {
+			t.Fatalf("seed admission failed: ok=%v err=%v", ok, err)
+		}
+		valid := true
+		for _, x := range []float64{a, b, c1, d} {
+			if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				valid = false
+			}
+		}
+		err = c.UpdateNeeds(id, Of(a, b), Of(a, b), Of(c1, d), Of(c1, d))
+		if valid && err != nil {
+			t.Fatalf("well-formed needs rejected: %v", err)
+		}
+		if !valid && err == nil {
+			t.Fatal("malformed needs accepted")
+		}
+		if !c.Reallocate().Result.Solved {
+			t.Fatal("cluster unusable after fuzzed update")
+		}
+	})
+}

@@ -1,0 +1,193 @@
+package vmalloc
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func stateTestNodes() []Node {
+	return []Node{
+		{Name: "a", Elementary: Of(1, 1), Aggregate: Of(4, 2)},
+		{Name: "b", Elementary: Of(0.5, 0.5), Aggregate: Of(2, 1)},
+		{Elementary: Of(2, 2), Aggregate: Of(2, 2)},
+	}
+}
+
+func stateTestService(cpu float64) Service {
+	return Service{
+		ReqElem: Of(cpu, cpu/2), ReqAgg: Of(cpu, cpu/2),
+		NeedElem: Of(cpu, 0), NeedAgg: Of(cpu, 0),
+	}
+}
+
+// TestClusterHookReplayReproducesState drives a cluster while recording hook
+// events, replays the recorded decisions into a second cluster through the
+// restore API, and demands identical durable state — the contract the
+// journal's log-the-decision design rests on.
+func TestClusterHookReplayReproducesState(t *testing.T) {
+	src, err := NewCluster(stateTestNodes(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewCluster(stateTestNodes(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayErr error
+	src.SetHook(func(ev *ClusterEvent) {
+		if replayErr != nil {
+			return
+		}
+		switch ev.Op {
+		case ClusterOpAdd:
+			replayErr = dst.RestoreAdd(ev.ID, ev.Node, *ev.TrueSvc, *ev.EstSvc)
+		case ClusterOpRemove:
+			if !dst.Remove(ev.ID) {
+				t.Errorf("replay remove %d failed", ev.ID)
+			}
+		case ClusterOpUpdateNeeds:
+			replayErr = dst.UpdateNeeds(ev.ID, ev.Needs[0], ev.Needs[1], ev.Needs[2], ev.Needs[3])
+		case ClusterOpSetThreshold:
+			dst.SetThreshold(ev.Threshold)
+		case ClusterOpEpoch:
+			_, replayErr = dst.ApplyPlacement(ev.IDs, ev.Placement)
+		}
+	})
+
+	ids := make([]int, 0, 8)
+	for i := 0; i < 6; i++ {
+		id, ok, err := src.Add(stateTestService(0.2 + 0.05*float64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			ids = append(ids, id)
+		}
+	}
+	src.SetThreshold(0.3)
+	src.Reallocate()
+	if err := src.UpdateNeeds(ids[1], Of(0.4, 0), Of(0.4, 0), Of(0.4, 0), Of(0.4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	src.Remove(ids[0])
+	src.Repair(1)
+	if replayErr != nil {
+		t.Fatalf("replay: %v", replayErr)
+	}
+
+	if !reflect.DeepEqual(src.State(), dst.State()) {
+		t.Fatal("replayed cluster state differs from source")
+	}
+
+	// Rejected admissions emit no event: an impossible service leaves the
+	// replayed twin untouched.
+	events := 0
+	src.SetHook(func(*ClusterEvent) { events++ })
+	if _, ok, err := src.Add(stateTestService(100)); err != nil || ok {
+		t.Fatalf("impossible admission: ok=%v err=%v", ok, err)
+	}
+	if events != 0 {
+		t.Fatalf("rejected admission emitted %d events", events)
+	}
+}
+
+func TestClusterStateJSONRoundTrip(t *testing.T) {
+	c, err := NewCluster(stateTestNodes(), &ClusterOptions{Threshold: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := c.Add(stateTestService(0.1 + 0.1*float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Reallocate()
+	st := c.State()
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ClusterState
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, st) {
+		t.Fatalf("state JSON round trip lost information:\n got  %+v\n want %+v", &back, st)
+	}
+	data2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("state JSON re-encoding not byte-identical")
+	}
+
+	// A restored cluster serializes to the same bytes.
+	rc, err := RestoreCluster(&back, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data3, err := json.Marshal(rc.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data3) {
+		t.Fatal("restored cluster state differs from source bytes")
+	}
+}
+
+func TestClusterStateValidateRejects(t *testing.T) {
+	good := func() *ClusterState {
+		c, err := NewCluster(stateTestNodes(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Add(stateTestService(0.2)); err != nil {
+			t.Fatal(err)
+		}
+		return c.State()
+	}
+	for _, tc := range []struct {
+		name   string
+		break_ func(*ClusterState)
+	}{
+		{"no nodes", func(st *ClusterState) { st.Nodes = nil }},
+		{"negative capacity", func(st *ClusterState) { st.Nodes[0].Aggregate[0] = -1 }},
+		{"bad node index", func(st *ClusterState) { st.Services[0].Node = 99 }},
+		{"next id too low", func(st *ClusterState) { st.NextID = 0 }},
+		{"negative need", func(st *ClusterState) { st.Services[0].True.NeedAgg[0] = -0.5 }},
+		{"dim mismatch", func(st *ClusterState) { st.Services[0].Est.ReqElem = Of(1) }},
+		{"load count", func(st *ClusterState) { st.ReqLoads = st.ReqLoads[:1] }},
+		{"negative threshold", func(st *ClusterState) { st.Threshold = -0.1 }},
+	} {
+		st := good()
+		tc.break_(st)
+		if err := st.Validate(); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestSetThresholdRejectsInvalid(t *testing.T) {
+	c, err := NewCluster(stateTestNodes(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range []float64{-0.1, math.NaN(), math.Inf(1)} {
+		if err := c.SetThreshold(th); err == nil {
+			t.Fatalf("threshold %v accepted", th)
+		}
+	}
+	if err := c.SetThreshold(0.3); err != nil {
+		t.Fatalf("valid threshold rejected: %v", err)
+	}
+	if _, err := NewCluster(stateTestNodes(), &ClusterOptions{Threshold: math.Inf(1)}); err == nil {
+		t.Fatal("NewCluster accepted an infinite threshold")
+	}
+}

@@ -20,13 +20,15 @@ import (
 )
 
 // Benchmark is one parsed benchmark result line. BytesPerOp/AllocsPerOp are
-// nil when the run did not report memory statistics.
+// nil when the run did not report memory statistics. Extra captures custom
+// b.ReportMetric units (e.g. "records/s" from the journal benches).
 type Benchmark struct {
-	Name        string   `json:"name"`
-	Iters       int64    `json:"iters"`
-	NsPerOp     float64  `json:"ns_per_op"`
-	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iters       int64              `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the emitted document.
@@ -93,7 +95,7 @@ func parseLine(line string) (Benchmark, bool) {
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			b.NsPerOp = v
 			haveNs = true
@@ -101,6 +103,15 @@ func parseLine(line string) (Benchmark, bool) {
 			b.BytesPerOp = &v
 		case "allocs/op":
 			b.AllocsPerOp = &v
+		default:
+			// Custom b.ReportMetric units look like "<value> <name>/<denom>".
+			if strings.Contains(unit, "/") {
+				if b.Extra == nil {
+					b.Extra = map[string]float64{}
+				}
+				b.Extra[unit] = v
+				i++
+			}
 		}
 	}
 	if !haveNs {

@@ -51,3 +51,19 @@ func TestParseLineMemStats(t *testing.T) {
 		t.Fatalf("plain line parsed as %+v (ok=%v)", b, ok)
 	}
 }
+
+func TestParseLineExtraMetrics(t *testing.T) {
+	b, ok := parseLine("BenchmarkJournalAppend/group-fsync-8 \t 32768\t 8252 ns/op\t 121182 records/s\t 210 B/op\t 3 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "BenchmarkJournalAppend/group-fsync" || b.NsPerOp != 8252 {
+		t.Fatalf("parsed %+v", b)
+	}
+	if got := b.Extra["records/s"]; got != 121182 {
+		t.Fatalf("extra metric records/s = %v, want 121182", got)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 210 || b.AllocsPerOp == nil || *b.AllocsPerOp != 3 {
+		t.Fatalf("mem stats lost around the extra metric: %+v", b)
+	}
+}

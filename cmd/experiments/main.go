@@ -24,6 +24,7 @@ import (
 
 	"vmalloc/internal/core"
 	"vmalloc/internal/exp"
+	"vmalloc/internal/exp/recovery"
 	"vmalloc/internal/hvp"
 	"vmalloc/internal/platform"
 	"vmalloc/internal/plot"
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "", "experiment: table1|table2|fig2..fig7|light|binorder|hardness|theorem1|profile|online")
+		which    = flag.String("exp", "", "experiment: table1|table2|fig2..fig7|light|binorder|hardness|theorem1|profile|online|recovery")
 		full     = flag.Bool("full", false, "use the paper's original sweep sizes (very slow)")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		slack    = flag.Float64("slack", -1, "override memory slack")
@@ -78,6 +79,8 @@ func main() {
 		profileStrategies(cfg)
 	case "online":
 		onlineTable(cfg)
+	case "recovery":
+		recoveryTable(cfg)
 	default:
 		fmt.Fprintln(os.Stderr, "experiments: unknown or missing -exp (see -h)")
 		os.Exit(2)
@@ -452,4 +455,25 @@ func onlineTable(cfg config) {
 	fmt.Printf("=== Online platform: steady state vs churn (%d hosts, adaptive threshold, %v) ===\n",
 		spec.Hosts, time.Since(start).Round(time.Millisecond))
 	fmt.Print(exp.OnlineTable(rows))
+}
+
+func recoveryTable(cfg config) {
+	spec := recovery.Spec{
+		Hosts:         cfg.hosts,
+		Ops:           []int{200, 1000},
+		SnapshotEvery: []int{-1, 64, 256},
+	}
+	if cfg.full {
+		spec.Ops = []int{1000, 5000, 20000}
+		spec.SnapshotEvery = []int{-1, 256, 1024, 4096}
+	}
+	start := time.Now()
+	rows, err := spec.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("=== Durable tier: recovery time vs log length and snapshot interval (%d hosts, %v) ===\n",
+		spec.Hosts, time.Since(start).Round(time.Millisecond))
+	fmt.Print(recovery.Table(rows))
 }

@@ -5,6 +5,15 @@
 //
 //	vmalloc -in problem.json [-algo METAHVPLIGHT] [-seed 1] [-parallel]
 //	vmalloc -demo            # run the paper's Figure 1 example
+//
+// One-shot runs compose with the durable daemon through cluster snapshots:
+//
+//	vmalloc -in problem.json -state-out cluster.json   # solve, save as cluster state
+//	vmalloc -state-in cluster.json -state-out c2.json  # load state, run one epoch, save
+//	vmallocd -dir data -state-in cluster.json          # boot the daemon from it
+//
+// A state file is the same stable ClusterState JSON the daemon snapshots and
+// serves at GET /v1/snapshot, so the three tools round-trip freely.
 package main
 
 import (
@@ -13,6 +22,7 @@ import (
 	"os"
 
 	"vmalloc"
+	"vmalloc/internal/server"
 )
 
 func main() {
@@ -23,8 +33,16 @@ func main() {
 		parallel = flag.Bool("parallel", false, "run meta strategies concurrently")
 		bound    = flag.Bool("bound", false, "also print the LP relaxation upper bound")
 		demo     = flag.Bool("demo", false, "solve the paper's Figure 1 example")
+		stateIn  = flag.String("state-in", "", "cluster state JSON to load (runs one reallocation epoch)")
+		stateOut = flag.String("state-out", "", "write the resulting cluster state JSON here")
+		budget   = flag.Int("budget", -1, "with -state-in: run a repair epoch with this migration budget instead of a full reallocation (-1 = full)")
 	)
 	flag.Parse()
+
+	if *stateIn != "" {
+		runStateEpoch(*stateIn, *stateOut, *budget, *parallel)
+		return
+	}
 
 	var p *vmalloc.Problem
 	switch {
@@ -37,7 +55,7 @@ func main() {
 			fatal(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "vmalloc: need -in FILE or -demo; known algorithms:")
+		fmt.Fprintln(os.Stderr, "vmalloc: need -in FILE, -state-in FILE or -demo; known algorithms:")
 		for _, a := range vmalloc.Algorithms() {
 			fmt.Fprintln(os.Stderr, "  ", a)
 		}
@@ -52,6 +70,12 @@ func main() {
 		fmt.Printf("%s: no feasible placement found (%d nodes, %d services)\n",
 			*algo, p.NumNodes(), p.NumServices())
 		os.Exit(1)
+	}
+	if *stateOut != "" {
+		if err := saveSolvedState(*stateOut, p, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("state written:  %s\n", *stateOut)
 	}
 	fmt.Printf("algorithm:      %s\n", *algo)
 	fmt.Printf("minimum yield:  %.4f\n", res.MinYield)
@@ -72,6 +96,80 @@ func main() {
 		}
 		fmt.Printf("  %-16s -> %-12s yield %.4f\n", name, node, res.Yields[j])
 	}
+}
+
+// runStateEpoch loads a cluster state, runs one epoch on it (full
+// reallocation or bounded repair) and optionally saves the new state — the
+// one-shot counterpart of POST /v1/reallocate on the daemon.
+func runStateEpoch(stateIn, stateOut string, budget int, parallel bool) {
+	st, err := loadState(stateIn)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := vmalloc.RestoreCluster(st, &vmalloc.ClusterOptions{Parallel: parallel})
+	if err != nil {
+		fatal(err)
+	}
+	var ep *vmalloc.ClusterEpoch
+	kind := "reallocation"
+	if budget >= 0 {
+		ep = c.Repair(budget)
+		kind = fmt.Sprintf("repair (budget %d)", budget)
+	} else {
+		ep = c.Reallocate()
+	}
+	fmt.Printf("cluster:        %d nodes, %d services\n", len(st.Nodes), len(st.Services))
+	if !ep.Result.Solved {
+		fmt.Printf("%s epoch failed: previous placement kept\n", kind)
+	} else {
+		fmt.Printf("%s epoch: min yield %.4f, %d migrations\n", kind, ep.Result.MinYield, ep.Migrations)
+	}
+	if stateOut != "" {
+		if err := saveState(stateOut, c.State()); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("state written:  %s\n", stateOut)
+	}
+	if !ep.Result.Solved {
+		os.Exit(1)
+	}
+}
+
+// saveSolvedState converts a solved one-shot problem into daemon-ready
+// cluster state: every service is installed with its solved placement.
+func saveSolvedState(path string, p *vmalloc.Problem, res *vmalloc.Result) error {
+	c, err := vmalloc.NewCluster(p.Nodes, nil)
+	if err != nil {
+		return err
+	}
+	for j := range p.Services {
+		if err := c.RestoreAdd(j, res.Placement[j], p.Services[j], p.Services[j]); err != nil {
+			return err
+		}
+	}
+	return saveState(path, c.State())
+}
+
+// loadState/saveState go through the same DecodeState/EncodeState the
+// daemon uses, so the CLI and vmallocd cannot drift on the shared format.
+func loadState(path string) (*vmalloc.ClusterState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := server.DecodeState(data)
+	if err != nil {
+		return nil, fmt.Errorf("state %s: %w", path, err)
+	}
+	return st, nil
+}
+
+func saveState(path string, st *vmalloc.ClusterState) error {
+	data, err := server.EncodeState(st)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func figure1() *vmalloc.Problem {

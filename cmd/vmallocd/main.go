@@ -1,0 +1,151 @@
+// Command vmallocd is the durable allocation daemon: a vmalloc.Cluster
+// behind a write-ahead journal, served over HTTP/JSON.
+//
+// Every mutation (admission, departure, need update, threshold change,
+// applied reallocation epoch) is journaled with group-commit batched fsync
+// and is durable when the response arrives; snapshots compact the log and
+// bound recovery time. Restarting the daemon on the same -dir recovers the
+// exact pre-shutdown cluster state from snapshot + WAL replay.
+//
+// Usage:
+//
+//	vmallocd -dir data -nodes nodes.json            # first boot: platform from a problem file
+//	vmallocd -dir data -hosts 16 -cov 0.5 -seed 1   # first boot: generated platform
+//	vmallocd -dir data -state-in cluster.json       # first boot: state from `vmalloc -state-out`
+//	vmallocd -dir data                              # every later boot: recover and serve
+//
+// See internal/server for the endpoint list.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vmalloc"
+	"vmalloc/internal/journal"
+	"vmalloc/internal/server"
+	"vmalloc/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		dir       = flag.String("dir", "", "journal directory (required)")
+		nodesFile = flag.String("nodes", "", "problem JSON file supplying the platform (first boot)")
+		stateIn   = flag.String("state-in", "", "cluster state JSON bootstrapping a fresh directory (first boot)")
+		hosts     = flag.Int("hosts", 0, "generate a platform with this many hosts (first boot)")
+		cov       = flag.Float64("cov", 0.5, "coefficient of variation for -hosts")
+		seed      = flag.Int64("seed", 1, "seed for -hosts")
+		threshold = flag.Float64("threshold", 0, "initial mitigation threshold (first boot)")
+		tolerance = flag.Float64("tol", 0, "yield search tolerance (0 = paper default)")
+		parallel  = flag.Bool("parallel", false, "race the meta strategies across workers")
+		workers   = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
+		lpBound   = flag.Bool("lpbound", false, "bracket the yield search with the warm-started LP bound")
+		snapEvery = flag.Int("snapshot-every", 0, "checkpoint after this many records (0 = 4096, negative disables)")
+		segBytes  = flag.Int64("segment-bytes", 0, "WAL segment rotation size (0 = 8 MiB)")
+		fsync     = flag.String("fsync", "batch", "durability mode: batch (group commit) or none")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "vmallocd: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var fsyncMode journal.FsyncMode
+	switch *fsync {
+	case "batch":
+		fsyncMode = journal.FsyncBatch
+	case "none":
+		fsyncMode = journal.FsyncNone
+	default:
+		fatal(fmt.Errorf("unknown -fsync mode %q (want batch or none)", *fsync))
+	}
+
+	opts := &server.Options{
+		Cluster: vmalloc.ClusterOptions{
+			Tolerance:  *tolerance,
+			Threshold:  *threshold,
+			Parallel:   *parallel,
+			Workers:    *workers,
+			UseLPBound: *lpBound,
+		},
+		SegmentBytes:  *segBytes,
+		Fsync:         fsyncMode,
+		SnapshotEvery: *snapEvery,
+	}
+
+	// The platform only matters on first boot; an existing journal carries
+	// its own.
+	var nodes []vmalloc.Node
+	switch {
+	case *stateIn != "":
+		data, err := os.ReadFile(*stateIn)
+		if err != nil {
+			fatal(err)
+		}
+		st, err := server.DecodeState(data)
+		if err != nil {
+			fatal(err)
+		}
+		opts.InitialState = st
+	case *nodesFile != "":
+		p, err := vmalloc.LoadProblem(*nodesFile)
+		if err != nil {
+			fatal(err)
+		}
+		nodes = p.Nodes
+	case *hosts > 0:
+		nodes = workload.Platform(workload.Scenario{
+			Hosts: *hosts, COV: *cov, Mode: workload.HeteroBoth, Seed: *seed,
+		}, rand.New(rand.NewSource(*seed)))
+	}
+
+	s, err := server.Open(*dir, nodes, opts)
+	if err != nil {
+		fatal(err)
+	}
+	stats := s.Stats()
+	log.Printf("vmallocd: recovered %d services (replayed %d records, snapshot seq %d, truncated %d torn bytes)",
+		stats.Services, stats.Replayed, stats.SnapshotSeq, stats.TruncatedBytes)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: server.Handler(s)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("vmallocd: serving on %s (journal %s, fsync=%s)", *addr, *dir, *fsync)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("vmallocd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("vmallocd: http shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			s.Close()
+			fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		fatal(err)
+	}
+	log.Printf("vmallocd: checkpointed and closed")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vmallocd:", err)
+	os.Exit(1)
+}

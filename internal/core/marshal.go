@@ -1,0 +1,269 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"vmalloc/internal/vec"
+)
+
+// This file pins a *stable* JSON serialization for the problem model: the
+// byte output of Marshal is a canonical function of the value — fixed key
+// order, empty vectors as [], names omitted when empty, floats in the
+// shortest representation that round-trips exactly — independent of
+// encoding/json internals. Snapshots of the durable allocation service, the
+// vmallocd HTTP API and the `vmalloc -state-in/-state-out` files all share
+// it, so state written by one tier is bit-stable input for the others (and
+// for golden tests).
+
+// appendJSONFloat appends the canonical JSON form of f: shortest decimal
+// that parses back to exactly f, using the same fixed/exponent cutover as
+// encoding/json so canonical output matches what default marshaling has
+// historically produced. Non-finite values are a hard error — they cannot
+// survive a JSON round trip.
+func appendJSONFloat(b []byte, f float64) ([]byte, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil, fmt.Errorf("core: value %g not representable in JSON", f)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, as encoding/json does.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, nil
+}
+
+// appendJSONVec appends v as a JSON array; nil and empty both encode as [].
+func appendJSONVec(b []byte, v vec.Vec) ([]byte, error) {
+	b = append(b, '[')
+	var err error
+	for i, x := range v {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		if b, err = appendJSONFloat(b, x); err != nil {
+			return nil, err
+		}
+	}
+	return append(b, ']'), nil
+}
+
+func appendJSONName(b []byte, name string) ([]byte, error) {
+	q, err := json.Marshal(name)
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, `"name":`...)
+	b = append(b, q...)
+	return append(b, ','), nil
+}
+
+// MarshalJSON emits the canonical form of a node:
+// {"name":...,"elementary":[...],"aggregate":[...]} with name omitted when
+// empty.
+func (n Node) MarshalJSON() ([]byte, error) {
+	b := []byte{'{'}
+	var err error
+	if n.Name != "" {
+		if b, err = appendJSONName(b, n.Name); err != nil {
+			return nil, err
+		}
+	}
+	b = append(b, `"elementary":`...)
+	if b, err = appendJSONVec(b, n.Elementary); err != nil {
+		return nil, err
+	}
+	b = append(b, `,"aggregate":`...)
+	if b, err = appendJSONVec(b, n.Aggregate); err != nil {
+		return nil, err
+	}
+	return append(b, '}'), nil
+}
+
+// MarshalJSON emits the canonical form of a service: name (omitted when
+// empty) followed by req_elem, req_agg, need_elem, need_agg.
+func (s Service) MarshalJSON() ([]byte, error) {
+	b := []byte{'{'}
+	var err error
+	if s.Name != "" {
+		if b, err = appendJSONName(b, s.Name); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range []struct {
+		key string
+		v   vec.Vec
+	}{
+		{`"req_elem":`, s.ReqElem},
+		{`,"req_agg":`, s.ReqAgg},
+		{`,"need_elem":`, s.NeedElem},
+		{`,"need_agg":`, s.NeedAgg},
+	} {
+		b = append(b, f.key...)
+		if b, err = appendJSONVec(b, f.v); err != nil {
+			return nil, err
+		}
+	}
+	return append(b, '}'), nil
+}
+
+// MarshalJSON emits the canonical problem form: {"nodes":[...],
+// "services":[...]} with empty slices as [].
+func (p Problem) MarshalJSON() ([]byte, error) {
+	b := append([]byte{'{'}, `"nodes":[`...)
+	for i := range p.Nodes {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		nb, err := p.Nodes[i].MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, nb...)
+	}
+	b = append(b, `],"services":[`...)
+	for i := range p.Services {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		sb, err := p.Services[i].MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, sb...)
+	}
+	return append(b, ']', '}'), nil
+}
+
+// MarshalJSON emits a placement as a plain array of node indices with
+// Unplaced as -1; nil encodes as [].
+func (pl Placement) MarshalJSON() ([]byte, error) {
+	b := []byte{'['}
+	for i, h := range pl {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(h), 10)
+	}
+	return append(b, ']'), nil
+}
+
+// The unmarshal side decodes through alias types (same field tags, no
+// methods) so the wire format stays symmetric with historical output, then
+// normalizes: null vectors become empty, and values must be finite and
+// non-negative — the journal/snapshot layer depends on decoded state never
+// smuggling NaN or Inf into the engine's incremental load arithmetic.
+
+type nodeAlias struct {
+	Name       string  `json:"name,omitempty"`
+	Elementary vec.Vec `json:"elementary"`
+	Aggregate  vec.Vec `json:"aggregate"`
+}
+
+type serviceAlias struct {
+	Name     string  `json:"name,omitempty"`
+	ReqElem  vec.Vec `json:"req_elem"`
+	ReqAgg   vec.Vec `json:"req_agg"`
+	NeedElem vec.Vec `json:"need_elem"`
+	NeedAgg  vec.Vec `json:"need_agg"`
+}
+
+// problemAlias reuses the element decoders (and their finiteness checks) —
+// []Node and []Service, not the alias element types.
+type problemAlias struct {
+	Nodes    []Node    `json:"nodes"`
+	Services []Service `json:"services"`
+}
+
+func checkFinite(kind string, v vec.Vec) (vec.Vec, error) {
+	if v == nil {
+		return vec.Vec{}, nil
+	}
+	for dd, x := range v {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("core: %s has invalid value %g in dimension %d", kind, x, dd)
+		}
+	}
+	return v, nil
+}
+
+// UnmarshalJSON decodes a node, normalizing null vectors to empty and
+// rejecting negative or non-finite capacities.
+func (n *Node) UnmarshalJSON(data []byte) error {
+	var a nodeAlias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	var err error
+	if a.Elementary, err = checkFinite("node elementary capacity", a.Elementary); err != nil {
+		return err
+	}
+	if a.Aggregate, err = checkFinite("node aggregate capacity", a.Aggregate); err != nil {
+		return err
+	}
+	*n = Node{Name: a.Name, Elementary: a.Elementary, Aggregate: a.Aggregate}
+	return nil
+}
+
+// UnmarshalJSON decodes a service, normalizing null vectors to empty and
+// rejecting negative or non-finite entries.
+func (s *Service) UnmarshalJSON(data []byte) error {
+	var a serviceAlias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	var err error
+	if a.ReqElem, err = checkFinite("service elementary requirement", a.ReqElem); err != nil {
+		return err
+	}
+	if a.ReqAgg, err = checkFinite("service aggregate requirement", a.ReqAgg); err != nil {
+		return err
+	}
+	if a.NeedElem, err = checkFinite("service elementary need", a.NeedElem); err != nil {
+		return err
+	}
+	if a.NeedAgg, err = checkFinite("service aggregate need", a.NeedAgg); err != nil {
+		return err
+	}
+	*s = Service{Name: a.Name, ReqElem: a.ReqElem, ReqAgg: a.ReqAgg,
+		NeedElem: a.NeedElem, NeedAgg: a.NeedAgg}
+	return nil
+}
+
+// UnmarshalJSON decodes a problem. Per-vector validation happens in the
+// element decoders; cross-field consistency (matching dimensionalities,
+// elementary <= aggregate) stays with Validate, which ReadJSON applies.
+func (p *Problem) UnmarshalJSON(data []byte) error {
+	var a problemAlias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	*p = Problem{Nodes: a.Nodes, Services: a.Services}
+	return nil
+}
+
+// UnmarshalJSON decodes a placement from an array of integer node indices
+// (Unplaced as -1). Fractional or sub-Unplaced values are rejected.
+func (pl *Placement) UnmarshalJSON(data []byte) error {
+	var raw []int
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("core: placement must be an array of node indices: %w", err)
+	}
+	for i, h := range raw {
+		if h < Unplaced {
+			return fmt.Errorf("core: placement entry %d is %d, below Unplaced (%d)", i, h, Unplaced)
+		}
+	}
+	*pl = Placement(raw)
+	return nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"vmalloc/internal/vec"
+)
+
+var updateMarshalGolden = flag.Bool("marshal-golden.update", false, "rewrite the stable-JSON golden file")
+
+// marshalTestProblem exercises the float formats the canonical encoder must
+// pin: integers, fractions without exact binary representation, tiny and
+// huge magnitudes spanning the fixed/exponent cutover, and names needing
+// escaping.
+func marshalTestProblem() *Problem {
+	return &Problem{
+		Nodes: []Node{
+			{Name: "node \"a\"", Elementary: vec.Of(0.8, 1), Aggregate: vec.Of(3.2, 1)},
+			{Elementary: vec.Of(1, 0.5), Aggregate: vec.Of(2, 0.5)},
+		},
+		Services: []Service{
+			{
+				Name:    "svc-0",
+				ReqElem: vec.Of(0.1, 1e-7), ReqAgg: vec.Of(1.0/3.0, 0.2),
+				NeedElem: vec.Of(2e21, 0), NeedAgg: vec.Of(0.30000000000000004, 123456789.5),
+			},
+			{
+				ReqElem: vec.Of(0, 0), ReqAgg: vec.Of(0, 0),
+				NeedElem: vec.Vec{}, NeedAgg: vec.Of(1e-9, 5),
+			},
+		},
+	}
+}
+
+func TestStableJSONGolden(t *testing.T) {
+	p := marshalTestProblem()
+	got, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "problem_golden.json")
+	if *updateMarshalGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -marshal-golden.update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("canonical JSON drifted from golden:\n got  %s\n want %s", got, want)
+	}
+
+	// The golden bytes decode back to the identical problem (bit-exact
+	// floats), and re-encoding is a fixed point.
+	var back Problem
+	if err := json.Unmarshal(want, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, p) {
+		t.Fatalf("round trip not exact:\n got  %+v\n want %+v", &back, p)
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, want) {
+		t.Fatal("re-encoding the decoded problem is not byte-identical")
+	}
+}
+
+func TestStableJSONAcceptsHistoricalForm(t *testing.T) {
+	// Files written by the pre-canonical (default encoding/json) marshaler
+	// must keep decoding: same keys, null for empty vectors.
+	historical := `{
+	  "nodes": [{"name":"A","elementary":[0.8,1],"aggregate":[3.2,1]}],
+	  "services": [{"req_elem":[0.5,0.5],"req_agg":[1,0.5],"need_elem":null,"need_agg":[1,0]}]
+	}`
+	var p Problem
+	if err := json.Unmarshal([]byte(historical), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Services[0].NeedElem == nil {
+		t.Fatal("null vector not normalized to empty")
+	}
+	if p.Nodes[0].Name != "A" || p.Services[0].ReqAgg[0] != 1 {
+		t.Fatalf("decoded problem wrong: %+v", p)
+	}
+}
+
+func TestStableJSONRejectsInvalidValues(t *testing.T) {
+	for _, tc := range []string{
+		`{"elementary":[-1],"aggregate":[1]}`,                            // negative capacity
+		`{"elementary":[1],"aggregate":[1e999]}`,                         // overflows to +Inf... rejected by json itself
+		`{"req_elem":[-0.5],"req_agg":[1],"need_elem":[],"need_agg":[]}`, // negative requirement
+	} {
+		var n Node
+		var s Service
+		errN := json.Unmarshal([]byte(tc), &n)
+		errS := json.Unmarshal([]byte(tc), &s)
+		if errN == nil && errS == nil {
+			t.Fatalf("invalid input accepted by both decoders: %s", tc)
+		}
+	}
+	if _, err := json.Marshal(Node{Elementary: vec.Of(math.NaN()), Aggregate: vec.Of(1)}); err == nil {
+		t.Fatal("NaN marshaled")
+	}
+	if _, err := json.Marshal(Service{ReqElem: vec.Of(math.Inf(1))}); err == nil {
+		t.Fatal("Inf marshaled")
+	}
+}
+
+func TestPlacementJSONRoundTrip(t *testing.T) {
+	pl := Placement{0, 2, Unplaced, 5}
+	b, err := json.Marshal(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "[0,2,-1,5]" {
+		t.Fatalf("canonical placement form: %s", b)
+	}
+	var back Placement
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, pl) {
+		t.Fatalf("round trip: %v != %v", back, pl)
+	}
+	if b, err := json.Marshal(Placement(nil)); err != nil || string(b) != "[]" {
+		t.Fatalf("nil placement: %s, %v", b, err)
+	}
+	for _, bad := range []string{`[0.5]`, `[-2]`, `{"a":1}`} {
+		var p Placement
+		if err := json.Unmarshal([]byte(bad), &p); err == nil {
+			t.Fatalf("invalid placement accepted: %s", bad)
+		}
+	}
+}
+
+// TestWriteReadJSONStillWorks guards the pre-existing file I/O entry points
+// against regressions from the custom marshalers.
+func TestWriteReadJSONStillWorks(t *testing.T) {
+	p := &Problem{
+		Nodes:    []Node{{Elementary: vec.Of(1, 1), Aggregate: vec.Of(2, 2)}},
+		Services: []Service{{ReqElem: vec.Of(0.5, 0.5), ReqAgg: vec.Of(0.5, 0.5), NeedElem: vec.Of(0.1, 0), NeedAgg: vec.Of(0.1, 0)}},
+	}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, p) {
+		t.Fatalf("WriteJSON/ReadJSON round trip: %+v != %+v", back, p)
+	}
+}

@@ -1,0 +1,238 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"vmalloc/internal/core"
+	"vmalloc/internal/vec"
+	"vmalloc/internal/workload"
+)
+
+func stateTestNodes(h int, seed int64) []core.Node {
+	return workload.Platform(workload.Scenario{
+		Hosts: h, COV: 0.4, Mode: workload.HeteroBoth, Seed: seed,
+	}, rand.New(rand.NewSource(seed)))
+}
+
+func randomService(rng *rand.Rand) core.Service {
+	req := vec.Of(0.05+0.15*rng.Float64(), 0.05+0.15*rng.Float64())
+	need := vec.Of(0.1+0.3*rng.Float64(), 0.05*rng.Float64())
+	return core.Service{
+		ReqElem: req.Clone(), ReqAgg: req.Clone(),
+		NeedElem: need.Clone(), NeedAgg: need.Clone(),
+	}
+}
+
+// driveOps applies a deterministic mixed workload of n operations to e,
+// mirroring what the durable service journals: admissions, departures, need
+// updates, threshold changes and reallocation/repair epochs.
+func driveOps(t *testing.T, e *Engine, rng *rand.Rand, n int, liveIDs *[]int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		switch k := rng.Intn(10); {
+		case k < 4: // admission
+			s := randomService(rng)
+			est := s
+			est.NeedAgg = s.NeedAgg.Scale(1 + 0.2*(rng.Float64()-0.5))
+			est.NeedElem = s.NeedElem.Clone()
+			est.ReqElem, est.ReqAgg = s.ReqElem.Clone(), s.ReqAgg.Clone()
+			if id, _, ok := e.Add(s, est); ok {
+				*liveIDs = append(*liveIDs, id)
+			}
+		case k < 6: // departure
+			if len(*liveIDs) > 0 {
+				idx := rng.Intn(len(*liveIDs))
+				id := (*liveIDs)[idx]
+				if !e.Remove(id) {
+					t.Fatalf("remove of live id %d failed", id)
+				}
+				*liveIDs = append((*liveIDs)[:idx], (*liveIDs)[idx+1:]...)
+			}
+		case k < 7: // need update
+			if len(*liveIDs) > 0 {
+				id := (*liveIDs)[rng.Intn(len(*liveIDs))]
+				nv := vec.Of(0.1+0.3*rng.Float64(), 0.05*rng.Float64())
+				if !e.UpdateNeeds(id, nv.Clone(), nv.Clone(), nv.Clone(), nv.Clone()) {
+					t.Fatalf("update of live id %d failed", id)
+				}
+			}
+		case k < 8: // threshold change
+			e.SetThreshold(0.1 + 0.2*rng.Float64())
+		case k < 9: // full reallocation
+			e.Reallocate()
+		default: // bounded repair
+			e.Repair(2)
+		}
+	}
+}
+
+// TestStateRestoreBitIdentical captures engine state mid-trajectory, restores
+// a second engine from it, drives both with the identical remaining
+// operation sequence, and demands bit-identical final states — the
+// determinism contract the WAL replay path relies on.
+func TestStateRestoreBitIdentical(t *testing.T) {
+	nodes := stateTestNodes(6, 11)
+	cfg := Config{Nodes: nodes}
+	orig, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var live []int
+	driveOps(t, orig, rng, 120, &live)
+
+	st := orig.State()
+	restored, err := Restore(cfg, st)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if !reflect.DeepEqual(restored.State(), st) {
+		t.Fatal("restored engine state differs immediately after Restore")
+	}
+
+	// Drive both engines with the same op tape.
+	tape1 := rand.New(rand.NewSource(99))
+	tape2 := rand.New(rand.NewSource(99))
+	live1 := append([]int(nil), live...)
+	live2 := append([]int(nil), live...)
+	driveOps(t, orig, tape1, 150, &live1)
+	driveOps(t, restored, tape2, 150, &live2)
+
+	st1, st2 := orig.State(), restored.State()
+	if !reflect.DeepEqual(st1, st2) {
+		t.Fatalf("trajectories diverged after restore:\n orig     %+v\n restored %+v", st1, st2)
+	}
+	// The load vectors must match bit for bit, not just approximately:
+	// replay re-applies the same float additions in the same order.
+	for h := range st1.ReqLoads {
+		for d := range st1.ReqLoads[h] {
+			if st1.ReqLoads[h][d] != st2.ReqLoads[h][d] || st1.NeedLoads[h][d] != st2.NeedLoads[h][d] {
+				t.Fatalf("node %d load differs in dim %d", h, d)
+			}
+		}
+	}
+}
+
+// TestRestoreWithoutLoadsRecomputesCanonically checks the hand-written-state
+// path: omitting the load vectors restores loads equal to the canonical
+// recomputation.
+func TestRestoreWithoutLoadsRecomputesCanonically(t *testing.T) {
+	nodes := stateTestNodes(4, 3)
+	cfg := Config{Nodes: nodes}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var live []int
+	driveOps(t, e, rng, 60, &live)
+	e.Reallocate() // ends with canonical loads
+
+	st := e.State()
+	st.ReqLoads, st.NeedLoads = nil, nil
+	restored, err := Restore(cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := e.State(), restored.State()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("canonical load recomputation differs:\n want %+v\n got  %+v", want, got)
+	}
+}
+
+// TestApplyPlacementByIDMatchesLiveEpoch replays one engine's solved epoch
+// into a twin via ApplyPlacementByID and demands the same state as solving
+// live.
+func TestApplyPlacementByIDMatchesLiveEpoch(t *testing.T) {
+	nodes := stateTestNodes(5, 21)
+	cfg := Config{Nodes: nodes}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	var live []int
+	driveOps(t, a, rng, 80, &live)
+
+	b, err := Restore(cfg, a.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := a.Reallocate()
+	if !rep.Result.Solved {
+		t.Skip("epoch unsolved at this seed; pick another")
+	}
+	migA := rep.Migrations
+	ids := append([]int(nil), rep.IDs...)
+	pl := rep.Result.Placement.Clone()
+
+	migB, err := b.ApplyPlacementByID(ids, pl)
+	if err != nil {
+		t.Fatalf("ApplyPlacementByID: %v", err)
+	}
+	if migA != migB {
+		t.Fatalf("migration counts differ: live %d, replay %d", migA, migB)
+	}
+	if !reflect.DeepEqual(a.State(), b.State()) {
+		t.Fatal("state after replayed epoch differs from live epoch")
+	}
+}
+
+func TestApplyPlacementByIDValidation(t *testing.T) {
+	nodes := stateTestNodes(3, 2)
+	e, err := New(Config{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.Service{
+		ReqElem: vec.Of(0.1, 0.1), ReqAgg: vec.Of(0.1, 0.1),
+		NeedElem: vec.Of(0.1, 0), NeedAgg: vec.Of(0.1, 0),
+	}
+	id, _, ok := e.Add(s, s)
+	if !ok {
+		t.Fatal("admission failed")
+	}
+	if _, err := e.ApplyPlacementByID([]int{id, id + 1}, core.Placement{0}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := e.ApplyPlacementByID([]int{id + 5}, core.Placement{0}); err == nil {
+		t.Fatal("wrong id accepted")
+	}
+	if _, err := e.ApplyPlacementByID([]int{id}, core.Placement{7}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if _, err := e.ApplyPlacementByID([]int{id}, core.Placement{0}); err != nil {
+		t.Fatalf("valid replay rejected: %v", err)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	nodes := stateTestNodes(3, 2)
+	cfg := Config{Nodes: nodes}
+	svc := core.Service{
+		ReqElem: vec.Of(0.1, 0.1), ReqAgg: vec.Of(0.1, 0.1),
+		NeedElem: vec.Of(0.1, 0), NeedAgg: vec.Of(0.1, 0),
+	}
+	base := ServiceState{ID: 0, Node: 0, True: svc, Est: svc}
+	for _, tc := range []struct {
+		name string
+		st   State
+	}{
+		{"duplicate ids", State{NextID: 2, Services: []ServiceState{base, base}}},
+		{"descending ids", State{NextID: 5, Services: []ServiceState{
+			{ID: 3, Node: 0, True: svc, Est: svc}, {ID: 1, Node: 0, True: svc, Est: svc}}}},
+		{"next id too low", State{NextID: 0, Services: []ServiceState{base}}},
+		{"bad node", State{NextID: 1, Services: []ServiceState{{ID: 0, Node: 9, True: svc, Est: svc}}}},
+		{"bad dim", State{NextID: 1, Services: []ServiceState{{ID: 0, Node: 0,
+			True: core.Service{ReqElem: vec.Of(1), ReqAgg: vec.Of(1), NeedElem: vec.Of(1), NeedAgg: vec.Of(1)},
+			Est:  svc}}}},
+		{"load count mismatch", State{NextID: 1, Services: []ServiceState{base},
+			ReqLoads: []vec.Vec{vec.Of(0, 0)}, NeedLoads: []vec.Vec{vec.Of(0, 0)}}},
+	} {
+		if _, err := Restore(cfg, &tc.st); err == nil {
+			t.Fatalf("%s: Restore accepted invalid state", tc.name)
+		}
+	}
+}

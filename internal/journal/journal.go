@@ -1,0 +1,636 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FsyncMode selects the durability of Append.
+type FsyncMode int
+
+const (
+	// FsyncBatch (the default) fsyncs once per commit batch: every Append
+	// returns only after its record is on stable storage, and concurrent
+	// appends share one fsync (group commit).
+	FsyncBatch FsyncMode = iota
+	// FsyncNone writes without syncing; a crash can lose the OS-buffered
+	// tail. Useful for replay benchmarks and bulk loads.
+	FsyncNone
+)
+
+// Options configures a journal directory.
+type Options struct {
+	// Dir is the journal directory, created if missing.
+	Dir string
+	// SegmentBytes rotates the active segment once it exceeds this size;
+	// <= 0 selects 8 MiB. Rotation happens at batch boundaries, so segments
+	// can overshoot by one commit batch.
+	SegmentBytes int64
+	// Fsync selects the Append durability mode.
+	Fsync FsyncMode
+	// KeepSnapshots is how many snapshots (and the segments needed to
+	// recover from the oldest of them) are retained; <= 0 selects 2.
+	// Keeping more than one lets recovery fall back when the newest
+	// snapshot file is torn.
+	KeepSnapshots int
+	// ValidateSnapshot, when non-nil, is applied to snapshot bytes during
+	// recovery; a snapshot failing validation is skipped in favor of the
+	// next older one. The journal itself treats snapshot state as opaque.
+	ValidateSnapshot func([]byte) error
+}
+
+func (o Options) segmentBytes() int64 {
+	if o.SegmentBytes <= 0 {
+		return 8 << 20
+	}
+	return o.SegmentBytes
+}
+
+func (o Options) keepSnapshots() int {
+	if o.KeepSnapshots <= 0 {
+		return 2
+	}
+	return o.KeepSnapshots
+}
+
+// RecoveryInfo summarizes what recovery found in a journal directory.
+type RecoveryInfo struct {
+	// SnapshotSeq is the sequence number covered by the loaded snapshot
+	// (0 when the directory held none).
+	SnapshotSeq uint64
+	// Snapshot is the loaded snapshot state, nil when none was found.
+	Snapshot []byte
+	// SkippedSnapshots counts newer snapshot files that were unreadable or
+	// failed validation and were passed over.
+	SkippedSnapshots int
+	// Replayed counts the records delivered to the replay callback.
+	Replayed int
+	// TruncatedBytes is the size of the torn tail cut from the last
+	// segment, 0 for a clean shutdown.
+	TruncatedBytes int
+	// LastSeq is the sequence number of the last durable record (equal to
+	// SnapshotSeq when the log held nothing newer).
+	LastSeq uint64
+}
+
+// Recovery is the first phase of opening a journal: the snapshot has been
+// located and loaded, the segment plan is known, and the record tail can be
+// replayed exactly once before the journal is opened for appending.
+type Recovery struct {
+	opts     Options
+	info     RecoveryInfo
+	segs     []uint64
+	replayed bool
+	lock     *os.File // exclusive directory lock; transferred to the Journal
+}
+
+// Close releases the directory lock when the recovery is abandoned before
+// Journal() took ownership of it. Harmless to call otherwise.
+func (rc *Recovery) Close() error {
+	if rc.lock == nil {
+		return nil
+	}
+	err := rc.lock.Close()
+	rc.lock = nil
+	return err
+}
+
+// Recover locates the newest usable snapshot in opts.Dir (creating the
+// directory if needed) and prepares tail replay. Snapshot files that fail to
+// read or validate are skipped in favor of older ones.
+func Recover(opts Options) (*Recovery, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("journal: no directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	lock, err := lockDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	segs, snaps, err := listDir(opts.Dir)
+	if err != nil {
+		if lock != nil {
+			lock.Close()
+		}
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	rc := &Recovery{opts: opts, segs: segs, lock: lock}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(snapshotPath(opts.Dir, snaps[i]))
+		if err == nil && opts.ValidateSnapshot != nil {
+			err = opts.ValidateSnapshot(data)
+		}
+		if err != nil {
+			rc.info.SkippedSnapshots++
+			continue
+		}
+		rc.info.SnapshotSeq = snaps[i]
+		rc.info.Snapshot = data
+		break
+	}
+	if rc.info.Snapshot == nil && rc.info.SkippedSnapshots > 0 {
+		rc.Close()
+		return nil, fmt.Errorf("journal: all %d snapshots in %s are unreadable", rc.info.SkippedSnapshots, opts.Dir)
+	}
+	rc.info.LastSeq = rc.info.SnapshotSeq
+	return rc, nil
+}
+
+// Info returns what recovery has established so far. The snapshot fields are
+// valid immediately after Recover; Replayed, TruncatedBytes and LastSeq are
+// final only after Replay.
+func (rc *Recovery) Info() RecoveryInfo { return rc.info }
+
+// Replay streams every durable record newer than the snapshot to fn, in
+// sequence order. A torn final record (crash mid-append) is truncated from
+// the last segment and not delivered; any other framing or continuity damage
+// is an error, as is a non-nil error from fn. Replay must be called exactly
+// once before Journal.
+func (rc *Recovery) Replay(fn func(*Record) error) error {
+	if rc.replayed {
+		return errors.New("journal: Replay called twice")
+	}
+	rc.replayed = true
+	snapSeq := rc.info.SnapshotSeq
+	prevSeq := snapSeq // last sequence number seen (or covered by snapshot)
+	for i, base := range rc.segs {
+		last := i == len(rc.segs)-1
+		// Skip segments entirely covered by the snapshot: segment i holds
+		// [base_i, base_{i+1}-1].
+		if !last && rc.segs[i+1] <= snapSeq+1 {
+			continue
+		}
+		path := segmentPath(rc.opts.Dir, base)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		expect := base
+		valid, err := scanFrames(data, func(payload []byte) error {
+			rec, err := decodePayload(payload)
+			if err != nil {
+				return err
+			}
+			if rec.Seq != expect {
+				return fmt.Errorf("journal: %s: record seq %d, want %d", path, rec.Seq, expect)
+			}
+			expect++
+			if rec.Seq <= snapSeq {
+				return nil // covered by the snapshot
+			}
+			if rec.Seq != prevSeq+1 {
+				return fmt.Errorf("journal: %s: gap: record seq %d after %d", path, rec.Seq, prevSeq)
+			}
+			prevSeq = rec.Seq
+			rc.info.Replayed++
+			if fn != nil {
+				return fn(rec)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if valid < len(data) {
+			if !last {
+				return fmt.Errorf("journal: %s: corrupt record at offset %d (not the last segment)", path, valid)
+			}
+			// Torn tail from a crash mid-append: drop it.
+			rc.info.TruncatedBytes = len(data) - valid
+			if err := os.Truncate(path, int64(valid)); err != nil {
+				return fmt.Errorf("journal: truncating torn tail: %w", err)
+			}
+		}
+		if expect == base && !last {
+			return fmt.Errorf("journal: %s: empty non-final segment", path)
+		}
+	}
+	rc.info.LastSeq = prevSeq
+	return nil
+}
+
+// pending is the enqueue-side state handed to the committer in one batch.
+type pending struct {
+	buf     []byte
+	waiters []chan error
+	recs    int
+	barrier bool
+}
+
+// Ticket is a pending durable append; Wait blocks until the record's commit
+// batch is on stable storage (or the journal has failed).
+type Ticket struct{ ch chan error }
+
+// Wait blocks for the group commit covering this ticket.
+func (t *Ticket) Wait() error { return <-t.ch }
+
+// Journal is an open write-ahead log. Enqueue/Append are safe for concurrent
+// use; one background committer serializes writes, batching all concurrently
+// enqueued records into a single write+fsync (group commit).
+type Journal struct {
+	opts Options
+
+	mu         sync.Mutex
+	seq        uint64 // last assigned sequence number
+	pend       pending
+	spare      pending // recycled buffers for the next batch
+	payloadBuf []byte
+	failed     error
+
+	kick chan struct{}
+	quit chan struct{}
+	done chan struct{}
+
+	// Committer-owned state.
+	file         *os.File
+	fileBase     uint64
+	fileSize     int64
+	committedSeq uint64
+
+	lock *os.File // exclusive directory lock, released at Close
+
+	snapMu sync.Mutex // serializes WriteSnapshot
+}
+
+// Journal finishes opening: it positions the append point after the last
+// durable record and starts the group-commit committer. Replay must have
+// completed first.
+func (rc *Recovery) Journal() (*Journal, error) {
+	if !rc.replayed {
+		return nil, errors.New("journal: Journal before Replay")
+	}
+	j := &Journal{
+		opts:         rc.opts,
+		seq:          rc.info.LastSeq,
+		committedSeq: rc.info.LastSeq,
+		kick:         make(chan struct{}, 1),
+		quit:         make(chan struct{}),
+		done:         make(chan struct{}),
+		lock:         rc.lock,
+	}
+	rc.lock = nil // the journal now owns the directory lock
+	fail := func(err error) (*Journal, error) {
+		if j.lock != nil {
+			j.lock.Close()
+		}
+		return nil, err
+	}
+	if n := len(rc.segs); n > 0 {
+		base := rc.segs[n-1]
+		f, err := os.OpenFile(segmentPath(rc.opts.Dir, base), os.O_WRONLY, 0)
+		if err != nil {
+			return fail(fmt.Errorf("journal: %w", err))
+		}
+		size, err := f.Seek(0, 2)
+		if err != nil {
+			f.Close()
+			return fail(fmt.Errorf("journal: %w", err))
+		}
+		j.file, j.fileBase, j.fileSize = f, base, size
+	} else {
+		if err := j.openSegment(rc.info.LastSeq + 1); err != nil {
+			return fail(err)
+		}
+	}
+	go j.run()
+	return j, nil
+}
+
+// Open is the convenience one-shot: Recover, Replay(fn), Journal.
+func Open(opts Options, fn func(*Record) error) (*Journal, RecoveryInfo, error) {
+	rc, err := Recover(opts)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	if err := rc.Replay(fn); err != nil {
+		rc.Close()
+		return nil, rc.info, err
+	}
+	j, err := rc.Journal()
+	if err != nil {
+		rc.Close()
+		return nil, rc.info, err
+	}
+	return j, rc.info, nil
+}
+
+// LastSeq returns the sequence number of the last enqueued record.
+func (j *Journal) LastSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Err returns the sticky write failure, if any. A failed journal rejects all
+// further appends: the in-memory state it was logging is now ahead of the
+// log, so the owner must stop accepting mutations.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.failed
+}
+
+// Enqueue assigns the next sequence number to r, encodes it and queues it for
+// the committer. The returned ticket resolves when the record's batch is
+// durable. Enqueue order equals sequence order, so callers that must keep
+// the log faithful to application order enqueue while holding their own
+// state lock and Wait after releasing it.
+func (j *Journal) Enqueue(r *Record) *Ticket {
+	ch := make(chan error, 1)
+	j.mu.Lock()
+	if j.failed != nil {
+		err := j.failed
+		j.mu.Unlock()
+		ch <- err
+		return &Ticket{ch}
+	}
+	j.payloadBuf = encodePayload(j.payloadBuf[:0], r)
+	// Enforce the frame limit on the write path too: an overlong record
+	// would be acknowledged now and rejected as corruption by the scanner
+	// at recovery.
+	if len(j.payloadBuf) > maxPayloadBytes {
+		err := fmt.Errorf("journal: %s record payload %d bytes exceeds frame limit %d",
+			r.Op, len(j.payloadBuf), maxPayloadBytes)
+		j.mu.Unlock()
+		ch <- err
+		return &Ticket{ch}
+	}
+	j.seq++
+	r.Seq = j.seq
+	// The sequence number is the fixed 8-byte payload prefix: patch it in
+	// place now that the record is known to fit (assigning before the size
+	// check would burn a seq on rejection and break replay continuity).
+	for i := 0; i < 8; i++ {
+		j.payloadBuf[i] = byte(j.seq >> (8 * i))
+	}
+	j.pend.buf = appendFrame(j.pend.buf, j.payloadBuf)
+	j.pend.waiters = append(j.pend.waiters, ch)
+	j.pend.recs++
+	j.mu.Unlock()
+	select {
+	case j.kick <- struct{}{}:
+	default:
+	}
+	return &Ticket{ch}
+}
+
+// Append durably writes r (group-committed with concurrent appends) and
+// fills in r.Seq.
+func (j *Journal) Append(r *Record) error { return j.Enqueue(r).Wait() }
+
+// Barrier returns a ticket that resolves once everything enqueued before it
+// is durable (forcing an fsync even under FsyncNone).
+func (j *Journal) Barrier() *Ticket {
+	ch := make(chan error, 1)
+	j.mu.Lock()
+	if j.failed != nil {
+		err := j.failed
+		j.mu.Unlock()
+		ch <- err
+		return &Ticket{ch}
+	}
+	j.pend.waiters = append(j.pend.waiters, ch)
+	j.pend.barrier = true
+	j.mu.Unlock()
+	select {
+	case j.kick <- struct{}{}:
+	default:
+	}
+	return &Ticket{ch}
+}
+
+// Close flushes pending appends, stops the committer and closes the active
+// segment.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	select {
+	case <-j.quit:
+		j.mu.Unlock()
+		<-j.done
+		return nil
+	default:
+		close(j.quit)
+	}
+	j.mu.Unlock()
+	<-j.done
+	// Reject and drain anything enqueued after the final flush.
+	j.mu.Lock()
+	if j.failed == nil {
+		j.failed = errClosed
+	}
+	late := j.pend.waiters
+	j.pend.waiters = nil
+	err := j.failed
+	j.mu.Unlock()
+	for _, ch := range late {
+		ch <- errClosed
+	}
+	if j.file != nil {
+		if cerr := j.file.Close(); cerr != nil && err == errClosed {
+			err = cerr
+		}
+		j.file = nil
+	}
+	if j.lock != nil {
+		j.lock.Close()
+		j.lock = nil
+	}
+	if err == errClosed {
+		return nil
+	}
+	return err
+}
+
+var errClosed = errors.New("journal: closed")
+
+func (j *Journal) run() {
+	defer close(j.done)
+	for {
+		select {
+		case <-j.kick:
+			j.flush()
+		case <-j.quit:
+			j.flush()
+			return
+		}
+	}
+}
+
+// flush swaps out the pending batch and commits it: one write, one fsync,
+// then every waiter is released. Buffers are recycled batch to batch.
+//
+// A write or fsync failure is terminal for the whole journal, not just the
+// batch: a partial write may have advanced the file offset past garbage
+// bytes, so committing anything after it could land acknowledged records
+// beyond a torn frame — recovery would then truncate them silently. The
+// sticky failure is therefore set *before* any waiter learns of it, and
+// commit refuses to run once it is set.
+func (j *Journal) flush() {
+	j.mu.Lock()
+	batch := j.pend
+	j.pend = pending{buf: j.spare.buf[:0], waiters: j.spare.waiters[:0]}
+	failed := j.failed
+	j.mu.Unlock()
+	if len(batch.waiters) == 0 && len(batch.buf) == 0 {
+		j.spare = batch
+		return
+	}
+	err := failed
+	if err == nil {
+		if err = j.commit(&batch); err != nil {
+			j.mu.Lock()
+			if j.failed == nil {
+				j.failed = err
+			}
+			j.mu.Unlock()
+		}
+	}
+	for _, ch := range batch.waiters {
+		ch <- err
+	}
+	batch.waiters = batch.waiters[:0]
+	batch.recs, batch.barrier = 0, false
+	j.spare = batch
+}
+
+// commit writes one batch to the active segment, rotating first when the
+// segment is full, and syncs according to the fsync mode (a barrier forces
+// the sync).
+func (j *Journal) commit(b *pending) error {
+	if len(b.buf) > 0 && j.fileSize >= j.opts.segmentBytes() {
+		if err := j.rotate(); err != nil {
+			return err
+		}
+	}
+	if len(b.buf) > 0 {
+		if _, err := j.file.Write(b.buf); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		j.fileSize += int64(len(b.buf))
+	}
+	if j.opts.Fsync == FsyncBatch || b.barrier {
+		if err := j.file.Sync(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	j.committedSeq += uint64(b.recs)
+	return nil
+}
+
+// rotate syncs and closes the active segment and starts a fresh one whose
+// first record is the next sequence number.
+func (j *Journal) rotate() error {
+	if err := j.file.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.file.Close(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.file = nil
+	return j.openSegment(j.committedSeq + 1)
+}
+
+func (j *Journal) openSegment(firstSeq uint64) error {
+	f, err := os.OpenFile(segmentPath(j.opts.Dir, firstSeq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := syncDir(j.opts.Dir); err != nil {
+		f.Close()
+		return err
+	}
+	j.file, j.fileBase, j.fileSize = f, firstSeq, 0
+	return nil
+}
+
+// WriteSnapshot durably records state as covering every record with sequence
+// number <= seq, then applies the retention policy: old snapshots beyond
+// KeepSnapshots are deleted, along with every segment entirely below the
+// oldest kept snapshot. Safe to call concurrently with appends; concurrent
+// WriteSnapshot calls serialize.
+func (j *Journal) WriteSnapshot(seq uint64, state []byte) error {
+	j.snapMu.Lock()
+	defer j.snapMu.Unlock()
+	// Make sure every record the snapshot claims to cover is durable.
+	if err := j.Barrier().Wait(); err != nil {
+		return err
+	}
+	path := snapshotPath(j.opts.Dir, seq)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.Write(state); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := syncDir(j.opts.Dir); err != nil {
+		return err
+	}
+	return j.prune()
+}
+
+// prune deletes snapshots beyond the retention count and segments entirely
+// covered by the oldest kept snapshot. Best-effort: a crash between snapshot
+// and prune just leaves extra files for the next prune.
+func (j *Journal) prune() error {
+	segs, snaps, err := listDir(j.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	keep := j.opts.keepSnapshots()
+	if len(snaps) <= keep {
+		keep = len(snaps)
+	}
+	for _, seq := range snaps[:len(snaps)-keep] {
+		if err := os.Remove(snapshotPath(j.opts.Dir, seq)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	if keep == 0 {
+		return nil
+	}
+	pruneSeq := snaps[len(snaps)-keep] // oldest kept snapshot
+	// Segment i covers [segs[i], segs[i+1]-1]; it is disposable when its
+	// whole range is <= pruneSeq. The last (active) segment always stays.
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1] <= pruneSeq+1 {
+			if err := os.Remove(segmentPath(j.opts.Dir, segs[i])); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("journal: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so entry creation/rename/truncation is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,532 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"vmalloc/internal/core"
+	"vmalloc/internal/vec"
+)
+
+func testService(x float64) core.Service {
+	return core.Service{
+		Name:    fmt.Sprintf("svc-%g", x),
+		ReqElem: vec.Of(x, x/2), ReqAgg: vec.Of(x, x/2),
+		NeedElem: vec.Of(x/4, 0), NeedAgg: vec.Of(x/3, 0.125),
+	}
+}
+
+// testRecords builds one record of every op with non-trivial payloads.
+func testRecords(n int) []*Record {
+	var recs []*Record
+	for i := 0; i < n; i++ {
+		switch i % 5 {
+		case 0:
+			recs = append(recs, &Record{
+				Op: OpAdd, ID: i, Node: i % 3,
+				TrueSvc: testService(float64(i) + 0.25),
+				EstSvc:  testService(float64(i) + 0.5),
+			})
+		case 1:
+			recs = append(recs, &Record{Op: OpRemove, ID: i - 1})
+		case 2:
+			recs = append(recs, &Record{
+				Op: OpUpdateNeeds, ID: i,
+				Needs: [4]vec.Vec{vec.Of(1, 2), vec.Of(3, 4), vec.Of(5, 6), vec.Of(7, 8)},
+			})
+		case 3:
+			recs = append(recs, &Record{Op: OpSetThreshold, Threshold: 0.3 + float64(i)/100})
+		case 4:
+			recs = append(recs, &Record{
+				Op: OpEpoch, Repair: i%2 == 0, Budget: i,
+				IDs:       []int{i, i + 1, i + 2},
+				Placement: core.Placement{0, 2, 1},
+			})
+		}
+	}
+	return recs
+}
+
+func openFresh(t *testing.T, opts Options) *Journal {
+	t.Helper()
+	j, info, err := Open(opts, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if info.Replayed != 0 || info.Snapshot != nil {
+		t.Fatalf("fresh dir recovered state: %+v", info)
+	}
+	return j
+}
+
+func replayAll(t *testing.T, opts Options) ([]*Record, RecoveryInfo, *Journal) {
+	t.Helper()
+	var got []*Record
+	j, info, err := Open(opts, func(r *Record) error {
+		cp := *r
+		got = append(got, &cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return got, info, j
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	opts := Options{Dir: t.TempDir()}
+	j := openFresh(t, opts)
+	want := testRecords(25)
+	for i, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d got seq %d", i, r.Seq)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	got, info, j2 := replayAll(t, opts)
+	defer j2.Close()
+	if info.Replayed != len(want) || info.TruncatedBytes != 0 {
+		t.Fatalf("recovery info: %+v", info)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+	// Appends continue the sequence.
+	r := &Record{Op: OpRemove, ID: 1}
+	if err := j2.Append(r); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+	if r.Seq != uint64(len(want)+1) {
+		t.Fatalf("post-recovery seq %d, want %d", r.Seq, len(want)+1)
+	}
+}
+
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	opts := Options{Dir: t.TempDir()}
+	j := openFresh(t, opts)
+	const goroutines, per = 16, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := j.Append(&Record{Op: OpRemove, ID: g*per + i}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent Append: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, info, j2 := replayAll(t, opts)
+	j2.Close()
+	if len(got) != goroutines*per {
+		t.Fatalf("replayed %d, want %d", len(got), goroutines*per)
+	}
+	seen := make(map[int]bool)
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate id %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if info.LastSeq != uint64(goroutines*per) {
+		t.Fatalf("LastSeq %d", info.LastSeq)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	opts := Options{Dir: t.TempDir(), SegmentBytes: 256}
+	j := openFresh(t, opts)
+	want := testRecords(60)
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := listDir(opts.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce >= 3 segments, got %d", len(segs))
+	}
+	got, _, j2 := replayAll(t, opts)
+	j2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records across segments, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("record %d mismatch after rotation", i)
+		}
+	}
+}
+
+func TestSnapshotCompactionAndFallback(t *testing.T) {
+	opts := Options{Dir: t.TempDir(), SegmentBytes: 128, KeepSnapshots: 2}
+	j := openFresh(t, opts)
+	for _, r := range testRecords(20) {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.WriteSnapshot(j.LastSeq(), []byte(`{"at":20}`)); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	for _, r := range testRecords(10) {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.WriteSnapshot(j.LastSeq(), []byte(`{"at":30}`)); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	for _, r := range testRecords(5) {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, snaps, err := listDir(opts.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("want 2 retained snapshots, got %v", snaps)
+	}
+	if segs[0] > snaps[0]+1 {
+		t.Fatalf("segments %v do not cover oldest kept snapshot %d", segs, snaps[0])
+	}
+
+	// Normal recovery uses the newest snapshot and replays 5 records.
+	got, info, j2 := replayAll(t, opts)
+	j2.Close()
+	if string(info.Snapshot) != `{"at":30}` || info.SnapshotSeq != 30 || len(got) != 5 {
+		t.Fatalf("recovery: snap=%q seq=%d replayed=%d", info.Snapshot, info.SnapshotSeq, len(got))
+	}
+	if got[0].Seq != 31 {
+		t.Fatalf("first replayed seq %d, want 31", got[0].Seq)
+	}
+
+	// Corrupt the newest snapshot: recovery falls back to the older one and
+	// replays the longer tail.
+	if err := os.WriteFile(snapshotPath(opts.Dir, 30), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	validate := func(b []byte) error {
+		if !bytes.HasPrefix(b, []byte(`{"at"`)) {
+			return fmt.Errorf("bad snapshot")
+		}
+		return nil
+	}
+	got, info, j3 := replayAll(t, Options{Dir: opts.Dir, ValidateSnapshot: validate})
+	j3.Close()
+	if string(info.Snapshot) != `{"at":20}` || info.SkippedSnapshots != 1 {
+		t.Fatalf("fallback recovery: snap=%q skipped=%d", info.Snapshot, info.SkippedSnapshots)
+	}
+	if len(got) != 15 {
+		t.Fatalf("fallback replayed %d records, want 15", len(got))
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tear func(data []byte) []byte
+	}{
+		{"garbage appended", func(d []byte) []byte { return append(d, 0xde, 0xad, 0xbe, 0xef, 0x01) }},
+		{"partial frame", func(d []byte) []byte {
+			extra := appendFrame(nil, encodePayload(nil, &Record{Seq: 99, Op: OpRemove, ID: 7}))
+			return append(d, extra[:len(extra)-3]...)
+		}},
+		{"bitflip in last record", func(d []byte) []byte {
+			d[len(d)-1] ^= 0xff
+			return d
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{Dir: t.TempDir()}
+			j := openFresh(t, opts)
+			want := testRecords(10)
+			for _, r := range want {
+				if err := j.Append(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			segs, _, err := listDir(opts.Dir)
+			if err != nil || len(segs) != 1 {
+				t.Fatalf("segments: %v %v", segs, err)
+			}
+			path := segmentPath(opts.Dir, segs[0])
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.tear(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			got, info, j2 := replayAll(t, opts)
+			j2.Close()
+			if info.TruncatedBytes == 0 {
+				t.Fatalf("expected torn-tail truncation, info=%+v", info)
+			}
+			wantN := len(want)
+			if tc.name == "bitflip in last record" {
+				wantN-- // the damaged final record is dropped
+			}
+			if len(got) != wantN {
+				t.Fatalf("replayed %d records, want %d", len(got), wantN)
+			}
+			// After truncation a fresh recovery is clean.
+			got2, info2, j3 := replayAll(t, opts)
+			j3.Close()
+			if info2.TruncatedBytes != 0 || len(got2) != wantN {
+				t.Fatalf("second recovery not clean: %+v, %d records", info2, len(got2))
+			}
+		})
+	}
+}
+
+func TestCorruptMiddleSegmentIsError(t *testing.T) {
+	opts := Options{Dir: t.TempDir(), SegmentBytes: 128}
+	j := openFresh(t, opts)
+	for _, r := range testRecords(40) {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := listDir(opts.Dir)
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, got %v (%v)", segs, err)
+	}
+	path := segmentPath(opts.Dir, segs[1])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(opts, nil); err == nil {
+		t.Fatal("recovery over a corrupt middle segment should fail, not silently drop records")
+	}
+}
+
+func TestFailedJournalRejectsAppends(t *testing.T) {
+	opts := Options{Dir: t.TempDir()}
+	j := openFresh(t, opts)
+	if err := j.Append(&Record{Op: OpRemove, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the committer's file descriptor: further appends must fail
+	// and the failure must be sticky.
+	j.file.Close()
+	if err := j.Append(&Record{Op: OpRemove, ID: 2}); err == nil {
+		t.Fatal("append to failed journal succeeded")
+	}
+	if err := j.Append(&Record{Op: OpRemove, ID: 3}); err == nil {
+		t.Fatal("failure not sticky")
+	}
+	if j.Err() == nil {
+		t.Fatal("Err() nil after failure")
+	}
+	j.file = nil // already closed
+	j.Close()
+}
+
+func TestSnapshotOnlyDirectory(t *testing.T) {
+	// A directory can end up with a snapshot covering every record and a
+	// pruned, empty tail; recovery must come back with zero replay.
+	opts := Options{Dir: t.TempDir(), KeepSnapshots: 1}
+	j := openFresh(t, opts)
+	for _, r := range testRecords(8) {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.WriteSnapshot(j.LastSeq(), []byte(`{"s":8}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, info, j2 := replayAll(t, opts)
+	defer j2.Close()
+	if len(got) != 0 || info.SnapshotSeq != 8 || info.LastSeq != 8 {
+		t.Fatalf("recovery: %d records, info %+v", len(got), info)
+	}
+	r := &Record{Op: OpRemove, ID: 42}
+	if err := j2.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Seq != 9 {
+		t.Fatalf("seq %d, want 9", r.Seq)
+	}
+}
+
+func TestReplayCallbackErrorStopsRecovery(t *testing.T) {
+	opts := Options{Dir: t.TempDir()}
+	j := openFresh(t, opts)
+	for _, r := range testRecords(5) {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	wantErr := fmt.Errorf("apply failed")
+	_, _, err := Open(opts, func(r *Record) error {
+		if r.Seq == 3 {
+			return wantErr
+		}
+		return nil
+	})
+	if err == nil || err.Error() != wantErr.Error() {
+		t.Fatalf("got %v, want %v", err, wantErr)
+	}
+}
+
+func TestScanFramesValidPrefixInvariants(t *testing.T) {
+	var buf []byte
+	recs := testRecords(6)
+	for i, r := range recs {
+		r.Seq = uint64(i + 1)
+		buf = appendFrame(buf, encodePayload(nil, r))
+	}
+	n := 0
+	valid, err := scanFrames(buf, func(p []byte) error { n++; return nil })
+	if err != nil || valid != len(buf) || n != len(recs) {
+		t.Fatalf("clean scan: valid=%d/%d n=%d err=%v", valid, len(buf), n, err)
+	}
+	// Truncations at every byte boundary never panic and never over-read.
+	for cut := 0; cut <= len(buf); cut++ {
+		v, err := scanFrames(buf[:cut], nil)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if v > cut {
+			t.Fatalf("cut=%d: valid prefix %d past end", cut, v)
+		}
+	}
+}
+
+func TestSegmentNameOrdering(t *testing.T) {
+	names := []string{segmentName(2), segmentName(10), segmentName(100000000000)}
+	for i := 1; i < len(names); i++ {
+		if !(names[i-1] < names[i]) {
+			t.Fatalf("lexical order broken: %v", names)
+		}
+	}
+	seq, ok := parseSeq(filepath.Base(segmentPath("x", 42)), segPrefix, segSuffix)
+	if !ok || seq != 42 {
+		t.Fatalf("parseSeq: %d %v", seq, ok)
+	}
+}
+
+func TestDirectoryLockRejectsSecondOpen(t *testing.T) {
+	opts := Options{Dir: t.TempDir()}
+	j := openFresh(t, opts)
+	defer j.Close()
+	if _, _, err := Open(opts, nil); err == nil {
+		t.Fatal("second Open on a locked directory succeeded")
+	}
+	// Releasing the lock frees the directory.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, _, err := Open(opts, nil)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	j2.Close()
+}
+
+func TestNoAcksAfterCommitFailure(t *testing.T) {
+	opts := Options{Dir: t.TempDir()}
+	j := openFresh(t, opts)
+	if err := j.Append(&Record{Op: OpRemove, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the committer's fd: the next batch fails, and everything
+	// after it must fail too — a success ack after a failed batch could sit
+	// beyond a torn frame and be truncated at recovery.
+	j.file.Close()
+	var errs [8]error
+	var wg sync.WaitGroup
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = j.Append(&Record{Op: OpRemove, ID: 100 + i})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("append %d acked as durable after a prior batch failed", i)
+		}
+	}
+	j.file = nil
+	j.Close()
+}
+
+func TestOversizeRecordRejectedAtEnqueue(t *testing.T) {
+	opts := Options{Dir: t.TempDir()}
+	j := openFresh(t, opts)
+	defer j.Close()
+	huge := &Record{Op: OpAdd, ID: 1, Node: 0}
+	huge.TrueSvc = core.Service{Name: string(make([]byte, maxPayloadBytes+1024))}
+	if err := j.Append(huge); err == nil {
+		t.Fatal("oversize record acknowledged; the scanner would reject it at recovery")
+	}
+	// The journal is still healthy and the sequence has no gap.
+	r := &Record{Op: OpRemove, ID: 2}
+	if err := j.Append(r); err != nil {
+		t.Fatalf("append after oversize rejection: %v", err)
+	}
+	if r.Seq != 1 {
+		t.Fatalf("seq %d after rejected oversize record, want 1 (no burned seq)", r.Seq)
+	}
+}

@@ -1,0 +1,27 @@
+//go:build unix
+
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on dir/LOCK so two processes
+// cannot append to the same journal (interleaved writes from independent
+// committers would corrupt acknowledged frames). The lock is released by
+// closing the returned file — explicitly on Close, or by the kernel when
+// the process dies, so a kill -9 never wedges the directory.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: directory %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,330 @@
+// Package journal implements the durable write-ahead log behind the online
+// allocation service: an append-only sequence of cluster mutations, framed as
+// CRC32C-checked binary records, written with group-commit batched fsync,
+// rotated into bounded segments and compacted through snapshots.
+//
+// The design follows the classic log-plus-checkpoint recipe. Every applied
+// mutation of the cluster (admission, departure, need update, threshold
+// change, applied reallocation/repair epoch) becomes one Record carrying the
+// *decision*, not the request: an admission record stores the id and node the
+// engine chose, an epoch record stores the placement that was applied. Replay
+// therefore re-applies recorded outcomes instead of re-running solver or
+// admission logic, which makes recovery fast and — together with the engine's
+// incremental load arithmetic being mirrored exactly on replay — reconstructs
+// the live state bit for bit.
+//
+// On disk a journal directory holds:
+//
+//	wal-<firstseq>.seg   segments of framed records, rotated by size
+//	snap-<seq>.json      state snapshots; <seq> is the last record included
+//
+// A record with sequence number s is covered by a snapshot with seq >= s;
+// recovery loads the newest readable snapshot and replays the tail. Torn
+// writes at the end of the last segment (a crash mid-append) are detected by
+// the frame CRC and truncated; corruption anywhere else is reported as an
+// error rather than silently dropped.
+package journal
+
+import (
+	"fmt"
+	"math"
+
+	"vmalloc/internal/core"
+	"vmalloc/internal/vec"
+)
+
+// Op identifies the kind of cluster mutation a record describes.
+type Op uint8
+
+const (
+	// OpAdd is a successful admission: TrueSvc/EstSvc were installed as
+	// service ID on node Node.
+	OpAdd Op = 1
+	// OpRemove is a departure of service ID.
+	OpRemove Op = 2
+	// OpUpdateNeeds replaced the fluid needs of service ID with Needs
+	// (true elementary, true aggregate, estimated elementary, estimated
+	// aggregate, in that order).
+	OpUpdateNeeds Op = 3
+	// OpSetThreshold set the §6.2 mitigation threshold to Threshold.
+	OpSetThreshold Op = 4
+	// OpEpoch applied a solved reallocation (Repair=false) or repair
+	// (Repair=true, with Budget) epoch: the services in IDs moved to
+	// Placement, index by index.
+	OpEpoch Op = 5
+)
+
+// String returns the mnemonic of the op.
+func (op Op) String() string {
+	switch op {
+	case OpAdd:
+		return "ADD"
+	case OpRemove:
+		return "REMOVE"
+	case OpUpdateNeeds:
+		return "UPDATE_NEEDS"
+	case OpSetThreshold:
+		return "SET_THRESHOLD"
+	case OpEpoch:
+		return "EPOCH"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// Record is one journaled cluster mutation. Which fields are meaningful
+// depends on Op; unused fields are zero. Seq is assigned by the journal at
+// enqueue time and is strictly consecutive within a directory.
+type Record struct {
+	Seq uint64
+	Op  Op
+
+	// ID and Node (OpAdd, OpRemove, OpUpdateNeeds).
+	ID   int
+	Node int
+
+	// TrueSvc and EstSvc (OpAdd).
+	TrueSvc core.Service
+	EstSvc  core.Service
+
+	// Needs (OpUpdateNeeds): true elem, true agg, est elem, est agg.
+	Needs [4]vec.Vec
+
+	// Threshold (OpSetThreshold).
+	Threshold float64
+
+	// Epoch payload (OpEpoch).
+	Repair    bool
+	Budget    int
+	IDs       []int
+	Placement core.Placement
+}
+
+// appendUvarint/appendVarint are local aliases to keep the encoders short.
+func appendUvarint(b []byte, x uint64) []byte {
+	for x >= 0x80 {
+		b = append(b, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(b, byte(x))
+}
+
+func appendVarint(b []byte, x int64) []byte {
+	ux := uint64(x) << 1
+	if x < 0 {
+		ux = ^ux
+	}
+	return appendUvarint(b, ux)
+}
+
+func appendU64(b []byte, x uint64) []byte {
+	return append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24),
+		byte(x>>32), byte(x>>40), byte(x>>48), byte(x>>56))
+}
+
+func appendVec(b []byte, v vec.Vec) []byte {
+	b = appendUvarint(b, uint64(len(v)))
+	for _, x := range v {
+		b = appendU64(b, math.Float64bits(x))
+	}
+	return b
+}
+
+func appendService(b []byte, s *core.Service) []byte {
+	b = appendUvarint(b, uint64(len(s.Name)))
+	b = append(b, s.Name...)
+	b = appendVec(b, s.ReqElem)
+	b = appendVec(b, s.ReqAgg)
+	b = appendVec(b, s.NeedElem)
+	b = appendVec(b, s.NeedAgg)
+	return b
+}
+
+// encodePayload appends the payload encoding of r (sequence number, op byte,
+// op-specific body, all little-endian with varint-compressed integers).
+func encodePayload(b []byte, r *Record) []byte {
+	b = appendU64(b, r.Seq)
+	b = append(b, byte(r.Op))
+	switch r.Op {
+	case OpAdd:
+		b = appendVarint(b, int64(r.ID))
+		b = appendVarint(b, int64(r.Node))
+		b = appendService(b, &r.TrueSvc)
+		b = appendService(b, &r.EstSvc)
+	case OpRemove:
+		b = appendVarint(b, int64(r.ID))
+	case OpUpdateNeeds:
+		b = appendVarint(b, int64(r.ID))
+		for _, v := range r.Needs {
+			b = appendVec(b, v)
+		}
+	case OpSetThreshold:
+		b = appendU64(b, math.Float64bits(r.Threshold))
+	case OpEpoch:
+		flags := byte(0)
+		if r.Repair {
+			flags = 1
+		}
+		b = append(b, flags)
+		b = appendVarint(b, int64(r.Budget))
+		b = appendUvarint(b, uint64(len(r.IDs)))
+		for _, id := range r.IDs {
+			b = appendVarint(b, int64(id))
+		}
+		for _, h := range r.Placement {
+			b = appendVarint(b, int64(h))
+		}
+	}
+	return b
+}
+
+// byteReader is a bounds-checked cursor over a payload. Every read reports
+// failure through ok so decodePayload can never panic on corrupt input.
+type byteReader struct {
+	b   []byte
+	pos int
+	ok  bool
+}
+
+func (r *byteReader) u8() byte {
+	if !r.ok || r.pos >= len(r.b) {
+		r.ok = false
+		return 0
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *byteReader) u64() uint64 {
+	if !r.ok || r.pos+8 > len(r.b) {
+		r.ok = false
+		return 0
+	}
+	b := r.b[r.pos : r.pos+8]
+	r.pos += 8
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func (r *byteReader) uvarint() uint64 {
+	var x uint64
+	var shift uint
+	for {
+		c := r.u8()
+		if !r.ok {
+			return 0
+		}
+		if shift >= 64 || (shift == 63 && c > 1) {
+			r.ok = false // overflow
+			return 0
+		}
+		x |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return x
+		}
+		shift += 7
+	}
+}
+
+func (r *byteReader) varint() int64 {
+	ux := r.uvarint()
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
+	}
+	return x
+}
+
+// maxVecDim bounds decoded vector dimensionality: real problems use a
+// handful of resource dimensions, so anything enormous is corruption and
+// must not trigger a huge allocation.
+const maxVecDim = 1 << 16
+
+// maxEpochServices bounds decoded epoch roster sizes for the same reason.
+const maxEpochServices = 1 << 24
+
+func (r *byteReader) vec() vec.Vec {
+	n := r.uvarint()
+	if !r.ok || n > maxVecDim {
+		r.ok = false
+		return nil
+	}
+	if n == 0 {
+		return vec.Vec{}
+	}
+	v := make(vec.Vec, n)
+	for i := range v {
+		v[i] = math.Float64frombits(r.u64())
+	}
+	if !r.ok {
+		return nil
+	}
+	return v
+}
+
+func (r *byteReader) service() core.Service {
+	var s core.Service
+	n := r.uvarint()
+	// Compare in uint64: a length >= 2^63 must not wrap negative through
+	// int() and sneak past the bounds check into a panicking slice.
+	if !r.ok || n > uint64(len(r.b)-r.pos) {
+		r.ok = false
+		return s
+	}
+	s.Name = string(r.b[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	s.ReqElem = r.vec()
+	s.ReqAgg = r.vec()
+	s.NeedElem = r.vec()
+	s.NeedAgg = r.vec()
+	return s
+}
+
+// decodePayload parses one record payload. It returns an error (never
+// panics) on truncated, overlong or structurally invalid input.
+func decodePayload(payload []byte) (*Record, error) {
+	rd := &byteReader{b: payload, ok: true}
+	rec := &Record{}
+	rec.Seq = rd.u64()
+	rec.Op = Op(rd.u8())
+	switch rec.Op {
+	case OpAdd:
+		rec.ID = int(rd.varint())
+		rec.Node = int(rd.varint())
+		rec.TrueSvc = rd.service()
+		rec.EstSvc = rd.service()
+	case OpRemove:
+		rec.ID = int(rd.varint())
+	case OpUpdateNeeds:
+		rec.ID = int(rd.varint())
+		for i := range rec.Needs {
+			rec.Needs[i] = rd.vec()
+		}
+	case OpSetThreshold:
+		rec.Threshold = math.Float64frombits(rd.u64())
+	case OpEpoch:
+		rec.Repair = rd.u8()&1 != 0
+		rec.Budget = int(rd.varint())
+		n := rd.uvarint()
+		if !rd.ok || n > maxEpochServices {
+			return nil, fmt.Errorf("journal: epoch record roster size %d invalid", n)
+		}
+		rec.IDs = make([]int, n)
+		for i := range rec.IDs {
+			rec.IDs[i] = int(rd.varint())
+		}
+		rec.Placement = make(core.Placement, n)
+		for i := range rec.Placement {
+			rec.Placement[i] = int(rd.varint())
+		}
+	default:
+		return nil, fmt.Errorf("journal: unknown op %d", uint8(rec.Op))
+	}
+	if !rd.ok {
+		return nil, fmt.Errorf("journal: truncated %s record payload (%d bytes)", rec.Op, len(payload))
+	}
+	if rd.pos != len(payload) {
+		return nil, fmt.Errorf("journal: %d trailing bytes after %s record", len(payload)-rd.pos, rec.Op)
+	}
+	return rec, nil
+}

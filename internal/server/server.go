@@ -1,0 +1,257 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"vmalloc"
+)
+
+// Handler returns the vmallocd HTTP/JSON API over a store:
+//
+//	POST   /v1/services            admit a service            {"true":{...},"est":{...}}
+//	DELETE /v1/services/{id}       depart a service
+//	PUT    /v1/services/{id}/needs replace fluid needs        {"true_elem":[...],...}
+//	PUT    /v1/threshold           set mitigation threshold   {"threshold":0.3}
+//	POST   /v1/reallocate          run a full epoch
+//	POST   /v1/repair              run a bounded repair epoch {"budget":4}
+//	GET    /v1/minyield?policy=P   evaluate §6 min yield (ALLOCCAPS|ALLOCWEIGHTS|EQUALWEIGHTS)
+//	GET    /v1/stats               counters
+//	GET    /v1/snapshot            full cluster state (stable JSON)
+//	POST   /v1/snapshot            force a checkpoint
+//	GET    /healthz                liveness
+//
+// Mutations are serialized through the store's commit pipeline and are
+// durable when the response arrives; reads are lock-free against published
+// state.
+func Handler(s *Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/services", func(w http.ResponseWriter, r *http.Request) {
+		var req addRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		if req.True == nil {
+			httpError(w, http.StatusBadRequest, errors.New(`missing "true" service`))
+			return
+		}
+		est := req.True
+		if req.Est != nil {
+			est = req.Est
+		}
+		id, node, err := s.AddWithEstimate(*req.True, *est)
+		if err != nil {
+			if errors.Is(err, ErrRejected) {
+				httpError(w, http.StatusConflict, err)
+			} else {
+				mutationError(w, err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusCreated, addResponse{ID: id, Node: node})
+	})
+	mux.HandleFunc("DELETE /v1/services/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := pathID(w, r)
+		if !ok {
+			return
+		}
+		removed, err := s.Remove(id)
+		if err != nil {
+			mutationError(w, err)
+			return
+		}
+		if !removed {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no live service with id %d", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"removed": true})
+	})
+	mux.HandleFunc("PUT /v1/services/{id}/needs", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := pathID(w, r)
+		if !ok {
+			return
+		}
+		var req needsRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		if err := s.UpdateNeeds(id, req.TrueElem, req.TrueAgg, req.EstElem, req.EstAgg); err != nil {
+			mutationError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"updated": true})
+	})
+	mux.HandleFunc("PUT /v1/threshold", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Threshold *float64 `json:"threshold"`
+		}
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		if req.Threshold == nil {
+			httpError(w, http.StatusBadRequest, errors.New("threshold must be a number >= 0"))
+			return
+		}
+		if err := s.SetThreshold(*req.Threshold); err != nil {
+			mutationError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]float64{"threshold": *req.Threshold})
+	})
+	mux.HandleFunc("POST /v1/reallocate", func(w http.ResponseWriter, r *http.Request) {
+		ce, err := s.Reallocate()
+		if err != nil {
+			mutationError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, epochResponse{
+			Solved: ce.Result.Solved, MinYield: ce.Result.MinYield,
+			Migrations: ce.Migrations, Services: len(ce.IDs),
+			IDs: ce.IDs, Placement: ce.Result.Placement,
+		})
+	})
+	mux.HandleFunc("POST /v1/repair", func(w http.ResponseWriter, r *http.Request) {
+		req := struct {
+			Budget int `json:"budget"`
+		}{Budget: -1}
+		if r.ContentLength != 0 && !decodeBody(w, r, &req) {
+			return
+		}
+		ce, err := s.Repair(req.Budget)
+		if err != nil {
+			mutationError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, epochResponse{
+			Solved: ce.Result.Solved, MinYield: ce.Result.MinYield,
+			Migrations: ce.Migrations, Services: len(ce.IDs),
+			IDs: ce.IDs, Placement: ce.Result.Placement,
+		})
+	})
+	mux.HandleFunc("GET /v1/minyield", func(w http.ResponseWriter, r *http.Request) {
+		policy, err := parsePolicy(r.URL.Query().Get("policy"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		y, err := s.MinYield(policy)
+		if err != nil {
+			mutationError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]float64{"min_yield": y})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		_, data, err := s.State()
+		if err != nil {
+			mutationError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+	})
+	mux.HandleFunc("POST /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		seq, err := s.Checkpoint()
+		if err != nil {
+			mutationError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]uint64{"seq": seq})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+type addRequest struct {
+	True *vmalloc.Service `json:"true"`
+	Est  *vmalloc.Service `json:"est,omitempty"`
+}
+
+type addResponse struct {
+	ID   int `json:"id"`
+	Node int `json:"node"`
+}
+
+type needsRequest struct {
+	TrueElem vmalloc.Vec `json:"true_elem"`
+	TrueAgg  vmalloc.Vec `json:"true_agg"`
+	EstElem  vmalloc.Vec `json:"est_elem"`
+	EstAgg   vmalloc.Vec `json:"est_agg"`
+}
+
+type epochResponse struct {
+	Solved     bool              `json:"solved"`
+	MinYield   float64           `json:"min_yield"`
+	Migrations int               `json:"migrations"`
+	Services   int               `json:"services"`
+	IDs        []int             `json:"ids"`
+	Placement  vmalloc.Placement `json:"placement"`
+}
+
+func parsePolicy(s string) (vmalloc.SchedPolicy, error) {
+	switch strings.ToUpper(s) {
+	case "", "ALLOCCAPS":
+		return vmalloc.PolicyAllocCaps, nil
+	case "ALLOCWEIGHTS":
+		return vmalloc.PolicyAllocWeights, nil
+	case "EQUALWEIGHTS":
+		return vmalloc.PolicyEqualWeights, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want ALLOCCAPS, ALLOCWEIGHTS or EQUALWEIGHTS)", s)
+}
+
+func pathID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid service id %q", r.PathValue("id")))
+		return 0, false
+	}
+	return id, true
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+// mutationError maps store errors by type: validation problems (ErrInvalid)
+// are the client's fault, an unknown id is 404, a closed store is 503, and
+// everything else — journal failure above all — is a 500.
+func mutationError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrInvalid):
+		httpError(w, http.StatusBadRequest, err)
+	case errors.Is(err, vmalloc.ErrUnknownService):
+		httpError(w, http.StatusNotFound, err)
+	default:
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,533 @@
+// Package server is the durable tier of the allocation system: a Store that
+// couples a vmalloc.Cluster to a write-ahead journal, and an HTTP/JSON
+// handler (vmallocd) that serves the full Cluster API over it.
+//
+// Durability follows the log-the-decision design of internal/journal: every
+// applied mutation is captured through the cluster's event-hook seam,
+// encoded as a journal record and group-committed. The commit pipeline
+// serializes *application* (one mutation at a time holds the state lock)
+// but overlaps *durability*: the lock is released before waiting for the
+// fsync, so concurrent requests batch into a single disk flush. Reads are
+// served from an immutable published snapshot that is re-derived lazily
+// after mutations, so they never wait on the solver or the disk.
+//
+// Recovery is snapshot + tail replay: the newest snapshot that validates is
+// restored via vmalloc.RestoreCluster, then the journal tail re-applies
+// recorded decisions (RestoreAdd/ApplyPlacement — no solver re-runs), which
+// reconstructs the pre-crash state bit for bit.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"vmalloc"
+	"vmalloc/internal/journal"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Cluster tunes the underlying allocation engine (solver roster,
+	// parallelism, LP bound). When recovering, the threshold inside the
+	// recovered state wins over Cluster.Threshold.
+	Cluster vmalloc.ClusterOptions
+	// SegmentBytes, Fsync and KeepSnapshots pass through to the journal.
+	SegmentBytes  int64
+	Fsync         journal.FsyncMode
+	KeepSnapshots int
+	// SnapshotEvery writes a state snapshot (and compacts the log) after
+	// this many journaled records; 0 selects 4096, negative disables
+	// automatic snapshots.
+	SnapshotEvery int
+	// InitialState bootstraps a fresh directory from a saved state file
+	// instead of an empty cluster (ignored when the directory already
+	// holds a journal).
+	InitialState *vmalloc.ClusterState
+}
+
+func (o *Options) snapshotEvery() int {
+	if o.SnapshotEvery == 0 {
+		return 4096
+	}
+	return o.SnapshotEvery
+}
+
+// Stats is a point-in-time counter snapshot of a Store.
+type Stats struct {
+	Services     int     `json:"services"`
+	Threshold    float64 `json:"threshold"`
+	LastSeq      uint64  `json:"last_seq"`
+	SnapshotSeq  uint64  `json:"snapshot_seq"`
+	Records      uint64  `json:"records"`
+	Snapshots    uint64  `json:"snapshots"`
+	Adds         uint64  `json:"adds"`
+	Rejected     uint64  `json:"rejected"`
+	Removes      uint64  `json:"removes"`
+	NeedUpdates  uint64  `json:"need_updates"`
+	Epochs       uint64  `json:"epochs"`
+	FailedEpochs uint64  `json:"failed_epochs"`
+	Migrations   uint64  `json:"migrations"`
+	LastMinYield float64 `json:"last_min_yield"`
+	// Boot-time recovery facts.
+	Replayed       int `json:"replayed"`
+	TruncatedBytes int `json:"truncated_bytes"`
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("server: store closed")
+
+// ErrRejected is returned by Add when no node can host the service.
+var ErrRejected = errors.New("server: admission rejected: no node can host the service")
+
+// ErrInvalid wraps structural validation failures of client-supplied input
+// (malformed vectors, bad thresholds); match with errors.Is to distinguish
+// the client's fault from store/journal failures.
+var ErrInvalid = errors.New("server: invalid input")
+
+// invalid wraps a cluster validation error so handlers can classify it
+// without substring matching.
+func invalid(err error) error {
+	return fmt.Errorf("%w: %s", ErrInvalid, err)
+}
+
+// Store is a journaled cluster. All mutations are durable when the call
+// returns; reads come from published snapshots. Safe for concurrent use.
+type Store struct {
+	opts Options
+
+	mu           sync.Mutex // serializes cluster access and journal enqueue order
+	cluster      *vmalloc.Cluster
+	j            *journal.Journal
+	tickets      []*journal.Ticket // tickets enqueued by the hook during one mutation
+	recordsSince int
+	closed       bool
+	stats        Stats
+
+	version   atomic.Uint64 // bumped per applied mutation
+	published atomic.Pointer[publishedState]
+}
+
+type publishedState struct {
+	version uint64
+	state   *vmalloc.ClusterState
+	data    []byte
+}
+
+// DecodeState parses and validates a stable-JSON cluster state.
+func DecodeState(data []byte) (*vmalloc.ClusterState, error) {
+	var st vmalloc.ClusterState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("server: decoding state: %w", err)
+	}
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// EncodeState renders a cluster state in the stable JSON form shared by
+// snapshots, the HTTP API and the vmalloc CLI.
+func EncodeState(st *vmalloc.ClusterState) ([]byte, error) {
+	return json.Marshal(st)
+}
+
+// Open recovers (or bootstraps) the journaled cluster in dir. For a fresh
+// directory, nodes (or opts.InitialState) defines the platform and a
+// bootstrap snapshot is written immediately; for an existing one the
+// platform comes from the recovered state and nodes is ignored. After a
+// replay longer than the snapshot interval a fresh snapshot compacts the
+// log right away.
+func Open(dir string, nodes []vmalloc.Node, opts *Options) (*Store, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	s := &Store{opts: *opts}
+	jopts := journal.Options{
+		Dir:              dir,
+		SegmentBytes:     opts.SegmentBytes,
+		Fsync:            opts.Fsync,
+		KeepSnapshots:    opts.KeepSnapshots,
+		ValidateSnapshot: func(b []byte) error { _, err := DecodeState(b); return err },
+	}
+	rc, err := journal.Recover(jopts)
+	if err != nil {
+		return nil, err
+	}
+	// No-op once rc.Journal() succeeds (the journal owns the directory lock
+	// from then on); releases it on every earlier error path.
+	defer rc.Close()
+	info := rc.Info()
+	bootstrap := false
+	if info.Snapshot != nil {
+		st, err := DecodeState(info.Snapshot)
+		if err != nil {
+			return nil, err // validated during Recover; unreachable in practice
+		}
+		s.cluster, err = vmalloc.RestoreCluster(st, &opts.Cluster)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		bootstrap = true
+		switch {
+		case opts.InitialState != nil:
+			s.cluster, err = vmalloc.RestoreCluster(opts.InitialState, &opts.Cluster)
+		case len(nodes) > 0:
+			s.cluster, err = vmalloc.NewCluster(nodes, &opts.Cluster)
+		default:
+			return nil, errors.New("server: fresh directory needs nodes or an initial state")
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := rc.Replay(func(r *journal.Record) error { return applyRecord(s.cluster, r) }); err != nil {
+		return nil, err
+	}
+	s.j, err = rc.Journal()
+	if err != nil {
+		return nil, err
+	}
+	info = rc.Info()
+	s.stats.Replayed = info.Replayed
+	s.stats.TruncatedBytes = info.TruncatedBytes
+	s.stats.SnapshotSeq = info.SnapshotSeq
+	s.stats.Threshold = s.cluster.State().Threshold
+	s.cluster.SetHook(s.onEvent)
+
+	// A fresh directory must hold a snapshot before the first record: the
+	// snapshot carries the platform, which records do not. A long replay is
+	// compacted away immediately so the next boot is fast.
+	if bootstrap || (opts.snapshotEvery() > 0 && info.Replayed >= opts.snapshotEvery()) {
+		if _, err := s.Checkpoint(); err != nil {
+			s.j.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// applyRecord replays one journaled decision onto the cluster (the hook is
+// not installed yet, so replay does not re-journal).
+func applyRecord(c *vmalloc.Cluster, r *journal.Record) error {
+	switch r.Op {
+	case journal.OpAdd:
+		return c.RestoreAdd(r.ID, r.Node, r.TrueSvc, r.EstSvc)
+	case journal.OpRemove:
+		if !c.Remove(r.ID) {
+			return fmt.Errorf("server: replay: remove of unknown id %d (seq %d)", r.ID, r.Seq)
+		}
+		return nil
+	case journal.OpUpdateNeeds:
+		return c.UpdateNeeds(r.ID, r.Needs[0], r.Needs[1], r.Needs[2], r.Needs[3])
+	case journal.OpSetThreshold:
+		return c.SetThreshold(r.Threshold)
+	case journal.OpEpoch:
+		_, err := c.ApplyPlacement(r.IDs, r.Placement)
+		return err
+	}
+	return fmt.Errorf("server: replay: unknown op %d (seq %d)", uint8(r.Op), r.Seq)
+}
+
+// onEvent is the cluster hook: it runs while the mutation holds s.mu, so
+// enqueue order equals application order.
+func (s *Store) onEvent(ev *vmalloc.ClusterEvent) {
+	rec := &journal.Record{}
+	switch ev.Op {
+	case vmalloc.ClusterOpAdd:
+		rec.Op, rec.ID, rec.Node = journal.OpAdd, ev.ID, ev.Node
+		rec.TrueSvc, rec.EstSvc = *ev.TrueSvc, *ev.EstSvc
+	case vmalloc.ClusterOpRemove:
+		rec.Op, rec.ID = journal.OpRemove, ev.ID
+	case vmalloc.ClusterOpUpdateNeeds:
+		rec.Op, rec.ID = journal.OpUpdateNeeds, ev.ID
+		rec.Needs = ev.Needs
+	case vmalloc.ClusterOpSetThreshold:
+		rec.Op, rec.Threshold = journal.OpSetThreshold, ev.Threshold
+	case vmalloc.ClusterOpEpoch:
+		rec.Op, rec.Repair, rec.Budget = journal.OpEpoch, ev.Repair, ev.Budget
+		rec.IDs, rec.Placement = ev.IDs, ev.Placement
+	default:
+		return
+	}
+	// Enqueue encodes synchronously, so aliasing engine buffers is safe.
+	s.tickets = append(s.tickets, s.j.Enqueue(rec))
+}
+
+// begin/finish bracket one mutation: apply under the lock, then wait for
+// durability after releasing it so concurrent mutations group-commit.
+func (s *Store) begin() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if err := s.j.Err(); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("server: store failed: %w", err)
+	}
+	s.tickets = s.tickets[:0]
+	return nil
+}
+
+// finish is called with s.mu held; it releases the lock, waits for the
+// journal tickets and triggers an automatic checkpoint when due.
+func (s *Store) finish() error {
+	tickets := s.tickets
+	s.tickets = nil
+	checkpoint := false
+	if n := len(tickets); n > 0 {
+		s.version.Add(1)
+		s.stats.Records += uint64(n)
+		s.recordsSince += n
+		if every := s.opts.snapshotEvery(); every > 0 && s.recordsSince >= every {
+			s.recordsSince = 0
+			checkpoint = true
+		}
+	}
+	s.mu.Unlock()
+	for _, t := range tickets {
+		if err := t.Wait(); err != nil {
+			return fmt.Errorf("server: journal append: %w", err)
+		}
+	}
+	if checkpoint {
+		if _, err := s.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Add admits a service (estimate equal to the true descriptor).
+func (s *Store) Add(svc vmalloc.Service) (id, node int, err error) {
+	return s.AddWithEstimate(svc, svc)
+}
+
+// AddWithEstimate admits a service whose scheduler-visible estimate differs
+// from its true needs. The admission decision is durable on return.
+func (s *Store) AddWithEstimate(trueSvc, estSvc vmalloc.Service) (id, node int, err error) {
+	if err := s.begin(); err != nil {
+		return 0, -1, err
+	}
+	id, ok, err := s.cluster.AddWithEstimate(trueSvc, estSvc)
+	if err != nil {
+		err = invalid(err) // the only Add error source is input validation
+	}
+	node = -1
+	if err == nil && ok {
+		node, _ = s.cluster.Node(id)
+		s.stats.Adds++
+	} else if err == nil {
+		s.stats.Rejected++
+	}
+	if ferr := s.finish(); err == nil && ferr != nil {
+		err = ferr
+	}
+	if err != nil {
+		return 0, -1, err
+	}
+	if !ok {
+		return 0, -1, ErrRejected
+	}
+	return id, node, nil
+}
+
+// Remove departs a service; reports whether the id was live.
+func (s *Store) Remove(id int) (bool, error) {
+	if err := s.begin(); err != nil {
+		return false, err
+	}
+	ok := s.cluster.Remove(id)
+	if ok {
+		s.stats.Removes++
+	}
+	if err := s.finish(); err != nil {
+		return ok, err
+	}
+	return ok, nil
+}
+
+// UpdateNeeds replaces a live service's fluid needs.
+func (s *Store) UpdateNeeds(id int, trueElem, trueAgg, estElem, estAgg vmalloc.Vec) error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	err := s.cluster.UpdateNeeds(id, trueElem, trueAgg, estElem, estAgg)
+	if err != nil && !errors.Is(err, vmalloc.ErrUnknownService) {
+		err = invalid(err)
+	}
+	if err == nil {
+		s.stats.NeedUpdates++
+	}
+	if ferr := s.finish(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// SetThreshold changes the mitigation threshold.
+func (s *Store) SetThreshold(th float64) error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	err := s.cluster.SetThreshold(th)
+	if err != nil {
+		err = invalid(err)
+	} else {
+		s.stats.Threshold = th
+	}
+	if ferr := s.finish(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// Reallocate runs one full reallocation epoch; the applied placement is
+// durable when the call returns.
+func (s *Store) Reallocate() (*vmalloc.ClusterEpoch, error) {
+	return s.epoch(func(c *vmalloc.Cluster) *vmalloc.ClusterEpoch { return c.Reallocate() })
+}
+
+// Repair runs one migration-bounded repair epoch.
+func (s *Store) Repair(budget int) (*vmalloc.ClusterEpoch, error) {
+	return s.epoch(func(c *vmalloc.Cluster) *vmalloc.ClusterEpoch { return c.Repair(budget) })
+}
+
+func (s *Store) epoch(run func(*vmalloc.Cluster) *vmalloc.ClusterEpoch) (*vmalloc.ClusterEpoch, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	ce := run(s.cluster)
+	s.stats.Epochs++
+	if ce.Result.Solved {
+		s.stats.Migrations += uint64(ce.Migrations)
+		s.stats.LastMinYield = ce.Result.MinYield
+	} else {
+		s.stats.FailedEpochs++
+	}
+	if err := s.finish(); err != nil {
+		return ce, err
+	}
+	return ce, nil
+}
+
+// MinYield evaluates the current placement under the §6 error model. It
+// needs the engine's scratch buffers, so it serializes with mutations.
+func (s *Store) MinYield(policy vmalloc.SchedPolicy) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return s.cluster.MinYield(policy), nil
+}
+
+// State returns the current cluster state and its stable JSON encoding,
+// served from the published snapshot (re-derived only after a mutation).
+// The returned state and bytes are shared — callers must not modify them.
+func (s *Store) State() (*vmalloc.ClusterState, []byte, error) {
+	v := s.version.Load()
+	// Close/Kill clear the published pointer, so the lock-free fast path
+	// cannot serve cached state from a closed store.
+	if p := s.published.Load(); p != nil && p.version == v {
+		return p.state, p.data, nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	v = s.version.Load() // stable while we hold the mutation lock
+	st := s.cluster.State()
+	s.mu.Unlock()
+	data, err := EncodeState(st)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.published.Store(&publishedState{version: v, state: st, data: data})
+	return st, data, nil
+}
+
+// Checkpoint writes a snapshot of the current state to the journal and
+// compacts segments behind it. Returns the sequence number the snapshot
+// covers.
+func (s *Store) Checkpoint() (uint64, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	st := s.cluster.State()
+	seq := s.j.LastSeq()
+	s.mu.Unlock()
+	data, err := EncodeState(st)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.j.WriteSnapshot(seq, data); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.stats.Snapshots++
+	if seq > s.stats.SnapshotSeq {
+		s.stats.SnapshotSeq = seq
+	}
+	s.mu.Unlock()
+	return seq, nil
+}
+
+// Stats returns a point-in-time counter snapshot.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Services = s.cluster.Len()
+	st.LastSeq = s.j.LastSeq()
+	return st
+}
+
+// Kill abandons the store without the Close-time checkpoint, leaving the
+// journal directory exactly as a crash would: the durable records, no fresh
+// snapshot. Recovery tooling and crash tests use it to exercise the replay
+// path; production code wants Close.
+func (s *Store) Kill() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.published.Store(nil)
+	s.version.Add(1) // invalidate any concurrently re-published read cache
+	s.mu.Unlock()
+	s.j.Close()
+}
+
+// Close checkpoints and shuts the journal down. Further operations fail
+// with ErrClosed.
+func (s *Store) Close() error {
+	if _, err := s.Checkpoint(); err != nil && !errors.Is(err, ErrClosed) {
+		// A failed journal cannot checkpoint; still release the files.
+		s.mu.Lock()
+		s.closed = true
+		s.published.Store(nil)
+		s.version.Add(1) // invalidate any concurrently re-published read cache
+		s.mu.Unlock()
+		s.j.Close()
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.published.Store(nil)
+	s.version.Add(1) // invalidate any concurrently re-published read cache
+	s.mu.Unlock()
+	return s.j.Close()
+}
