@@ -100,28 +100,7 @@ func NewCluster(nodes []Node, opts *ClusterOptions) (*Cluster, error) {
 // a panic (or silent NaN poisoning of the incremental loads) deep inside the
 // engine.
 func (c *Cluster) validateService(kind string, svc Service) error {
-	d := c.eng.Dim()
-	for _, vv := range []struct {
-		name string
-		v    Vec
-	}{
-		{"elementary requirement", svc.ReqElem},
-		{"aggregate requirement", svc.ReqAgg},
-		{"elementary need", svc.NeedElem},
-		{"aggregate need", svc.NeedAgg},
-	} {
-		if vv.v.Dim() != d {
-			return fmt.Errorf("vmalloc: %s service %s has %d dimensions, want %d",
-				kind, vv.name, vv.v.Dim(), d)
-		}
-		for dd, x := range vv.v {
-			if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
-				return fmt.Errorf("vmalloc: %s service %s has invalid value %g in dimension %d",
-					kind, vv.name, x, dd)
-			}
-		}
-	}
-	return nil
+	return validateServiceVecs(c.eng.Dim(), kind, svc)
 }
 
 // Add admits a service whose CPU-need estimate is exact. Admission is the
@@ -175,13 +154,8 @@ func (c *Cluster) UpdateNeeds(id int, trueNeedElem, trueNeedAgg, estNeedElem, es
 		{"estimated elementary need", estNeedElem},
 		{"estimated aggregate need", estNeedAgg},
 	} {
-		if vv.v.Dim() != d {
-			return fmt.Errorf("vmalloc: %s has %d dimensions, want %d", vv.name, vv.v.Dim(), d)
-		}
-		for dd, x := range vv.v {
-			if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
-				return fmt.Errorf("vmalloc: %s has invalid value %g in dimension %d", vv.name, x, dd)
-			}
+		if err := validateVec(d, vv.name, vv.v); err != nil {
+			return err
 		}
 	}
 	if !c.eng.UpdateNeeds(id, vec.Vec(trueNeedElem), vec.Vec(trueNeedAgg),

@@ -21,6 +21,13 @@ const (
 	ClusterOpSetThreshold
 	// ClusterOpEpoch applied a solved Reallocate or Repair epoch.
 	ClusterOpEpoch
+	// ClusterOpMoveIn installed a cross-shard rebalanced service (sharded
+	// clusters only). It replays like an admission; the move generation in
+	// ShardEvent.Gen lets a durable tier reconcile moves torn across WALs.
+	ClusterOpMoveIn
+	// ClusterOpMoveOut departed a cross-shard rebalanced service (sharded
+	// clusters only). It replays like a removal.
+	ClusterOpMoveOut
 )
 
 // ClusterEvent describes one applied cluster mutation, delivered to the

@@ -36,7 +36,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "", "experiment: table1|table2|fig2..fig7|light|binorder|hardness|theorem1|profile|online|recovery")
+		which    = flag.String("exp", "", "experiment: table1|table2|fig2..fig7|light|binorder|hardness|theorem1|profile|online|sharded|recovery")
 		full     = flag.Bool("full", false, "use the paper's original sweep sizes (very slow)")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		slack    = flag.Float64("slack", -1, "override memory slack")
@@ -79,6 +79,8 @@ func main() {
 		profileStrategies(cfg)
 	case "online":
 		onlineTable(cfg)
+	case "sharded":
+		shardedTable(cfg)
 	case "recovery":
 		recoveryTable(cfg)
 	default:
@@ -455,6 +457,31 @@ func onlineTable(cfg config) {
 	fmt.Printf("=== Online platform: steady state vs churn (%d hosts, adaptive threshold, %v) ===\n",
 		spec.Hosts, time.Since(start).Round(time.Millisecond))
 	fmt.Print(exp.OnlineTable(rows))
+}
+
+func shardedTable(cfg config) {
+	spec := exp.ShardedSpec{
+		Hosts: 16, COV: 0.5,
+		Shards:           []int{1, 2, 4},
+		ArrivalsPerEpoch: 8,
+		Epochs:           40,
+		Seeds:            cfg.seeds,
+	}
+	if cfg.full {
+		spec.Hosts = 64
+		spec.Shards = []int{1, 2, 4, 8}
+		spec.ArrivalsPerEpoch = 24
+		spec.Epochs = 120
+	}
+	start := time.Now()
+	rows, err := spec.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("=== Sharded tier: churn vs placement-domain count (%d hosts, %v) ===\n",
+		spec.Hosts, time.Since(start).Round(time.Millisecond))
+	fmt.Print(exp.ShardedTable(rows))
 }
 
 func recoveryTable(cfg config) {

@@ -1,17 +1,24 @@
-// Command vmallocd is the durable allocation daemon: a vmalloc.Cluster
-// behind a write-ahead journal, served over HTTP/JSON.
+// Command vmallocd is the durable allocation daemon: a vmalloc.Cluster (or,
+// with -shards K, a vmalloc.ShardedCluster of K placement domains) behind
+// write-ahead journals, served over HTTP/JSON.
 //
 // Every mutation (admission, departure, need update, threshold change,
-// applied reallocation epoch) is journaled with group-commit batched fsync
-// and is durable when the response arrives; snapshots compact the log and
-// bound recovery time. Restarting the daemon on the same -dir recovers the
-// exact pre-shutdown cluster state from snapshot + WAL replay.
+// applied reallocation epoch, cross-shard rebalance move) is journaled with
+// group-commit batched fsync and is durable when the response arrives;
+// snapshots compact the log and bound recovery time. Restarting the daemon
+// on the same -dir recovers the exact pre-shutdown cluster state from
+// snapshot + WAL replay — sharded directories replay one WAL per shard.
+//
+// A recovered directory defines its own platform: booting it with -nodes,
+// -hosts, -state-in, -threshold or a conflicting -shards fails fast instead
+// of silently ignoring the flags.
 //
 // Usage:
 //
 //	vmallocd -dir data -nodes nodes.json            # first boot: platform from a problem file
 //	vmallocd -dir data -hosts 16 -cov 0.5 -seed 1   # first boot: generated platform
 //	vmallocd -dir data -state-in cluster.json       # first boot: state from `vmalloc -state-out`
+//	vmallocd -dir data -hosts 64 -shards 4          # first boot: 4 placement domains
 //	vmallocd -dir data                              # every later boot: recover and serve
 //
 // See internal/server for the endpoint list.
@@ -27,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,6 +44,13 @@ import (
 	"vmalloc/internal/workload"
 )
 
+// store is the daemon-facing surface shared by the unsharded and sharded
+// stores.
+type store interface {
+	server.API
+	Close() error
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
@@ -44,12 +59,15 @@ func main() {
 		stateIn   = flag.String("state-in", "", "cluster state JSON bootstrapping a fresh directory (first boot)")
 		hosts     = flag.Int("hosts", 0, "generate a platform with this many hosts (first boot)")
 		cov       = flag.Float64("cov", 0.5, "coefficient of variation for -hosts")
-		seed      = flag.Int64("seed", 1, "seed for -hosts")
+		seed      = flag.Int64("seed", 1, "seed for -hosts (and the shard admission hash)")
 		threshold = flag.Float64("threshold", 0, "initial mitigation threshold (first boot)")
 		tolerance = flag.Float64("tol", 0, "yield search tolerance (0 = paper default)")
-		parallel  = flag.Bool("parallel", false, "race the meta strategies across workers")
+		parallel  = flag.Bool("parallel", false, "race the meta strategies across workers (per shard)")
 		workers   = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
 		lpBound   = flag.Bool("lpbound", false, "bracket the yield search with the warm-started LP bound")
+		shards    = flag.Int("shards", 0, "partition the platform into this many placement domains (first boot; 0 = unsharded)")
+		rebGap    = flag.Float64("rebalance-gap", 0, "rebalance when the bottleneck shard trails the median yield by more than this (0 = default 0.1, negative disables)")
+		rebMoves  = flag.Int("rebalance-moves", 0, "max services migrated per rebalance pass (0 = default 2, negative disables)")
 		snapEvery = flag.Int("snapshot-every", 0, "checkpoint after this many records (0 = 4096, negative disables)")
 		segBytes  = flag.Int64("segment-bytes", 0, "WAL segment rotation size (0 = 8 MiB)")
 		fsync     = flag.String("fsync", "batch", "durability mode: batch (group commit) or none")
@@ -71,6 +89,31 @@ func main() {
 		fatal(fmt.Errorf("unknown -fsync mode %q (want batch or none)", *fsync))
 	}
 
+	// A recovered directory carries its own platform; first-boot flags on
+	// top of it are a conflict, not a preference. Fail fast and name the
+	// platform that would win instead of silently ignoring the flags.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	recovered, manifest, err := server.DirRecovered(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	if recovered {
+		var conflicts []string
+		for _, name := range []string{"nodes", "hosts", "state-in", "threshold", "cov", "seed"} {
+			if set[name] {
+				conflicts = append(conflicts, "-"+name)
+			}
+		}
+		if set["shards"] && (manifest == nil && *shards > 0 || manifest != nil && *shards != manifest.Shards) {
+			conflicts = append(conflicts, "-shards")
+		}
+		if len(conflicts) > 0 {
+			fatal(fmt.Errorf("%s already holds a recovered platform (%s); it conflicts with %s — drop the flags to serve the recovered state, or point -dir at a fresh directory",
+				*dir, server.DescribeDir(*dir), strings.Join(conflicts, ", ")))
+		}
+	}
+
 	opts := &server.Options{
 		Cluster: vmalloc.ClusterOptions{
 			Tolerance:  *tolerance,
@@ -79,13 +122,17 @@ func main() {
 			Workers:    *workers,
 			UseLPBound: *lpBound,
 		},
-		SegmentBytes:  *segBytes,
-		Fsync:         fsyncMode,
-		SnapshotEvery: *snapEvery,
+		SegmentBytes:   *segBytes,
+		Fsync:          fsyncMode,
+		SnapshotEvery:  *snapEvery,
+		Shards:         *shards,
+		ShardSeed:      *seed,
+		RebalanceGap:   *rebGap,
+		RebalanceMoves: *rebMoves,
 	}
 
 	// The platform only matters on first boot; an existing journal carries
-	// its own.
+	// its own (and the conflict check above already rejected overrides).
 	var nodes []vmalloc.Node
 	switch {
 	case *stateIn != "":
@@ -110,15 +157,37 @@ func main() {
 		}, rand.New(rand.NewSource(*seed)))
 	}
 
-	s, err := server.Open(*dir, nodes, opts)
-	if err != nil {
-		fatal(err)
+	var s store
+	if manifest != nil || (!recovered && *shards > 0) {
+		ss, err := server.OpenSharded(*dir, nodes, opts)
+		if err != nil {
+			fatal(err)
+		}
+		for _, w := range ss.RecoveryWarnings {
+			log.Printf("vmallocd: recovery: %s", w)
+		}
+		s = ss
+	} else {
+		st, err := server.Open(*dir, nodes, opts)
+		if err != nil {
+			fatal(err)
+		}
+		s = st
 	}
 	stats := s.Stats()
-	log.Printf("vmallocd: recovered %d services (replayed %d records, snapshot seq %d, truncated %d torn bytes)",
-		stats.Services, stats.Replayed, stats.SnapshotSeq, stats.TruncatedBytes)
+	log.Printf("vmallocd: recovered %d services in %d shard(s) (replayed %d records, snapshot seq %d, truncated %d torn bytes)",
+		stats.Services, max(stats.Shards, 1), stats.Replayed, stats.SnapshotSeq, stats.TruncatedBytes)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: server.Handler(s)}
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: server.Handler(s),
+		// A slow-header client must not pin a connection forever
+		// (slowloris); epochs can legitimately run long, so responses get
+		// no WriteTimeout — only reads and idle keep-alives are bounded.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)

@@ -228,6 +228,23 @@ func cloneService(s core.Service) core.Service {
 // returns the assigned id and node; on rejection ok is false and no state
 // changes.
 func (e *Engine) Add(trueSvc, estSvc core.Service) (id, node int, ok bool) {
+	id = e.nextID
+	node, ok = e.AdmitWithID(id, trueSvc, estSvc)
+	if !ok {
+		return 0, -1, false
+	}
+	return id, node, true
+}
+
+// AdmitWithID runs the same best-fit admission test as Add but installs the
+// service under a caller-chosen id — the primitive a shard router uses to
+// keep one global id space across several engines. The id must not be live
+// in this engine; the next fresh id is bumped past it on success. The
+// arithmetic (fit test, score, load accumulation) is bit-identical to Add.
+func (e *Engine) AdmitWithID(id int, trueSvc, estSvc core.Service) (node int, ok bool) {
+	if _, dup := e.byID[id]; dup || id < 0 {
+		return -1, false
+	}
 	best, bestScore := -1, math.Inf(1)
 	for h := range e.cfg.Nodes {
 		if !trueSvc.FitsRequirements(&e.cfg.Nodes[h], e.reqLoads[h]) {
@@ -239,12 +256,14 @@ func (e *Engine) Add(trueSvc, estSvc core.Service) (id, node int, ok bool) {
 		}
 	}
 	if best < 0 {
-		return 0, -1, false
+		return -1, false
 	}
 	si := e.allocSlot()
 	sl := &e.slots[si]
-	sl.id = e.nextID
-	e.nextID++
+	sl.id = id
+	if id >= e.nextID {
+		e.nextID = id + 1
+	}
 	sl.trueSvc = cloneService(trueSvc)
 	sl.estSvc = cloneService(estSvc)
 	sl.node = best
@@ -254,7 +273,19 @@ func (e *Engine) Add(trueSvc, estSvc core.Service) (id, node int, ok bool) {
 	e.byID[sl.id] = si
 	e.reqLoads[best].AccumAdd(sl.trueSvc.ReqAgg)
 	e.needLoads[best].AccumAdd(sl.trueSvc.NeedAgg)
-	return sl.id, best, true
+	return best, true
+}
+
+// Headroom returns the total residual aggregate requirement capacity across
+// all nodes — the admission-relevant free space a shard router scores
+// placement domains by. Dimensions are summed with the same arithmetic the
+// best-fit admission score uses per node.
+func (e *Engine) Headroom() float64 {
+	total := 0.0
+	for h := range e.cfg.Nodes {
+		total += vec.SumDiff(e.cfg.Nodes[h].Aggregate, e.reqLoads[h])
+	}
+	return total
 }
 
 // Remove departs a live service in O(1) (slab free-list plus swap-remove of

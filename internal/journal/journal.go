@@ -97,6 +97,15 @@ func (rc *Recovery) Close() error {
 	return err
 }
 
+// DirHasJournal reports whether dir already holds journal state (segments
+// or snapshots) — i.e. whether opening it would recover an existing cluster
+// rather than bootstrap a fresh one. A missing directory reports false; the
+// check does not take the directory lock.
+func DirHasJournal(dir string) bool {
+	segs, snaps, err := listDir(dir)
+	return err == nil && (len(segs) > 0 || len(snaps) > 0)
+}
+
 // Recover locates the newest usable snapshot in opts.Dir (creating the
 // directory if needed) and prepares tail replay. Snapshot files that fail to
 // read or validate are skipped in favor of older ones.

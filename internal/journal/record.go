@@ -52,6 +52,14 @@ const (
 	// (Repair=true, with Budget) epoch: the services in IDs moved to
 	// Placement, index by index.
 	OpEpoch Op = 5
+	// OpMoveIn installed service ID on node Node after a cross-shard
+	// rebalance move (sharded tier only). It replays exactly like OpAdd;
+	// the distinct op plus Gen let recovery keep the newest copy when a
+	// move is torn across two shard WALs.
+	OpMoveIn Op = 6
+	// OpMoveOut departed service ID after a cross-shard rebalance move
+	// (sharded tier only). It replays exactly like OpRemove.
+	OpMoveOut Op = 7
 )
 
 // String returns the mnemonic of the op.
@@ -67,6 +75,10 @@ func (op Op) String() string {
 		return "SET_THRESHOLD"
 	case OpEpoch:
 		return "EPOCH"
+	case OpMoveIn:
+		return "MOVE_IN"
+	case OpMoveOut:
+		return "MOVE_OUT"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(op))
 }
@@ -91,6 +103,10 @@ type Record struct {
 
 	// Threshold (OpSetThreshold).
 	Threshold float64
+
+	// Gen is the per-service cross-shard move generation (OpMoveIn,
+	// OpMoveOut).
+	Gen uint64
 
 	// Epoch payload (OpEpoch).
 	Repair    bool
@@ -150,8 +166,17 @@ func encodePayload(b []byte, r *Record) []byte {
 		b = appendVarint(b, int64(r.Node))
 		b = appendService(b, &r.TrueSvc)
 		b = appendService(b, &r.EstSvc)
+	case OpMoveIn:
+		b = appendVarint(b, int64(r.ID))
+		b = appendVarint(b, int64(r.Node))
+		b = appendUvarint(b, r.Gen)
+		b = appendService(b, &r.TrueSvc)
+		b = appendService(b, &r.EstSvc)
 	case OpRemove:
 		b = appendVarint(b, int64(r.ID))
+	case OpMoveOut:
+		b = appendVarint(b, int64(r.ID))
+		b = appendUvarint(b, r.Gen)
 	case OpUpdateNeeds:
 		b = appendVarint(b, int64(r.ID))
 		for _, v := range r.Needs {
@@ -293,8 +318,17 @@ func decodePayload(payload []byte) (*Record, error) {
 		rec.Node = int(rd.varint())
 		rec.TrueSvc = rd.service()
 		rec.EstSvc = rd.service()
+	case OpMoveIn:
+		rec.ID = int(rd.varint())
+		rec.Node = int(rd.varint())
+		rec.Gen = rd.uvarint()
+		rec.TrueSvc = rd.service()
+		rec.EstSvc = rd.service()
 	case OpRemove:
 		rec.ID = int(rd.varint())
+	case OpMoveOut:
+		rec.ID = int(rd.varint())
+		rec.Gen = rd.uvarint()
 	case OpUpdateNeeds:
 		rec.ID = int(rd.varint())
 		for i := range rec.Needs {

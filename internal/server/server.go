@@ -4,12 +4,35 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 
 	"vmalloc"
 )
+
+// API is the store surface the HTTP handler serves. Both the single-domain
+// Store and the ShardedStore implement it; mutations must be durable when
+// the call returns.
+type API interface {
+	AddWithEstimate(trueSvc, estSvc vmalloc.Service) (id, node int, err error)
+	Remove(id int) (bool, error)
+	UpdateNeeds(id int, trueElem, trueAgg, estElem, estAgg vmalloc.Vec) error
+	SetThreshold(th float64) error
+	Reallocate() (*vmalloc.ClusterEpoch, error)
+	Repair(budget int) (*vmalloc.ClusterEpoch, error)
+	MinYield(policy vmalloc.SchedPolicy) (float64, error)
+	State() (*vmalloc.ClusterState, []byte, error)
+	Checkpoint() (uint64, error)
+	Stats() Stats
+}
+
+// shardStatser is the optional per-shard statistics surface; a store that
+// provides it (ShardedStore) additionally serves GET /v1/shards.
+type shardStatser interface {
+	ShardStats() ([]vmalloc.ShardStat, error)
+}
 
 // Handler returns the vmallocd HTTP/JSON API over a store:
 //
@@ -21,14 +44,16 @@ import (
 //	POST   /v1/repair              run a bounded repair epoch {"budget":4}
 //	GET    /v1/minyield?policy=P   evaluate §6 min yield (ALLOCCAPS|ALLOCWEIGHTS|EQUALWEIGHTS)
 //	GET    /v1/stats               counters
+//	GET    /v1/shards              per-shard statistics (sharded store only)
 //	GET    /v1/snapshot            full cluster state (stable JSON)
 //	POST   /v1/snapshot            force a checkpoint
 //	GET    /healthz                liveness
 //
 // Mutations are serialized through the store's commit pipeline and are
 // durable when the response arrives; reads are lock-free against published
-// state.
-func Handler(s *Store) http.Handler {
+// state. Request bodies must be a single JSON value: trailing bytes after
+// the value are rejected with 400 rather than silently ignored.
+func Handler(s API) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/services", func(w http.ResponseWriter, r *http.Request) {
 		var req addRequest
@@ -118,7 +143,10 @@ func Handler(s *Store) http.Handler {
 		req := struct {
 			Budget int `json:"budget"`
 		}{Budget: -1}
-		if r.ContentLength != 0 && !decodeBody(w, r, &req) {
+		// The body is optional: absent (including a chunked request whose
+		// body turns out empty, where ContentLength is -1) selects the
+		// default unlimited budget.
+		if !decodeOptionalBody(w, r, &req) {
 			return
 		}
 		ce, err := s.Repair(req.Budget)
@@ -148,6 +176,16 @@ func Handler(s *Store) http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	if ss, ok := s.(shardStatser); ok {
+		mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, r *http.Request) {
+			stats, err := ss.ShardStats()
+			if err != nil {
+				mutationError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, stats)
+		})
+	}
 	mux.HandleFunc("GET /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		_, data, err := s.State()
 		if err != nil {
@@ -220,14 +258,39 @@ func pathID(w http.ResponseWriter, r *http.Request) (int, bool) {
 	return id, true
 }
 
+// decodeBody parses the request body as exactly one JSON value into v. A
+// second Decode must hit io.EOF, so trailing garbage after the value
+// (`{"budget":1}{"budget":9}` used to be silently half-read) is a 400.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	ok, _ := decodeJSON(w, r, v, true)
+	return ok
+}
+
+// decodeOptionalBody is decodeBody for endpoints whose body is optional: a
+// missing or empty body (io.EOF before any value, which is also what an
+// empty chunked body with ContentLength -1 yields) leaves v at its
+// defaults. Trailing garbage is still rejected.
+func decodeOptionalBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	ok, _ := decodeJSON(w, r, v, false)
+	return ok
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any, required bool) (ok, present bool) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) && !required {
+			return true, false
+		}
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return false
+		return false, false
 	}
-	return true
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest,
+			errors.New("decoding request: trailing data after JSON body"))
+		return false, true
+	}
+	return true, true
 }
 
 // mutationError maps store errors by type: validation problems (ErrInvalid)

@@ -1,0 +1,690 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"vmalloc"
+	"vmalloc/internal/journal"
+)
+
+// ShardManifest pins the immutable facts of a sharded journal directory:
+// the shard count, the admission seed and the full node park. It is written
+// once, on first boot, before any shard directory exists, so recovery never
+// has to guess the partition — even when a crash interrupted the very first
+// bootstrap and some shard directories are missing.
+type ShardManifest struct {
+	Shards int            `json:"shards"`
+	Seed   int64          `json:"seed"`
+	Nodes  []vmalloc.Node `json:"nodes"`
+}
+
+const manifestName = "shards.json"
+
+// LoadShardManifest reads the manifest of a sharded journal directory, or
+// (nil, nil) when dir holds none (it is not sharded, or not yet born).
+func LoadShardManifest(dir string) (*ShardManifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: reading shard manifest: %w", err)
+	}
+	var m ShardManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("server: decoding shard manifest: %w", err)
+	}
+	if m.Shards < 1 || m.Shards > len(m.Nodes) {
+		return nil, fmt.Errorf("server: shard manifest has %d shards over %d nodes", m.Shards, len(m.Nodes))
+	}
+	return &m, nil
+}
+
+func writeShardManifest(dir string, m *ShardManifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncShardDir(dir)
+}
+
+func syncShardDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func shardDir(dir string, s int) string { return filepath.Join(dir, fmt.Sprintf("shard-%d", s)) }
+
+// DirRecovered reports whether dir already holds a journaled cluster —
+// sharded (manifest present) or unsharded (journal files present) — i.e.
+// whether booting from it recovers an existing platform instead of
+// bootstrapping the one named on the command line.
+func DirRecovered(dir string) (recovered bool, manifest *ShardManifest, err error) {
+	m, err := LoadShardManifest(dir)
+	if err != nil {
+		return false, nil, err
+	}
+	if m != nil {
+		return true, m, nil
+	}
+	return journal.DirHasJournal(dir), nil, nil
+}
+
+// DescribeDir summarizes the recovered platform of a journal directory for
+// operator-facing messages ("which platform would win"), without keeping
+// the directory open.
+func DescribeDir(dir string) string {
+	if m, err := LoadShardManifest(dir); err == nil && m != nil {
+		return fmt.Sprintf("%d shards over %d nodes", m.Shards, len(m.Nodes))
+	}
+	rc, err := journal.Recover(journal.Options{Dir: dir})
+	if err != nil {
+		return "an existing journal"
+	}
+	defer rc.Close()
+	if snap := rc.Info().Snapshot; snap != nil {
+		if st, err := DecodeState(snap); err == nil {
+			return fmt.Sprintf("%d nodes, %d live services at the last snapshot",
+				len(st.Nodes), len(st.Services))
+		}
+	}
+	return "an existing journal"
+}
+
+// ShardedStore is the sharded durable tier: a vmalloc.ShardedCluster whose
+// K placement domains each journal to their own WAL directory
+// (dir/shard-0 … dir/shard-K-1), behind one commit pipeline. Mutations
+// apply under a single lock (preserving the router's deterministic
+// trajectory) and the fsync waits happen after unlock, so concurrent
+// requests group-commit per shard; an epoch's records fan out to every
+// shard's journal and the call returns only when all of them are durable.
+//
+// Cross-WAL atomicity for rebalance moves follows a fixed discipline: the
+// destination's MOVE_IN record is fsynced before the source's MOVE_OUT is
+// even enqueued, and checkpoints barrier every journal before writing any
+// snapshot. A crash can therefore leave a moving service recovered in two
+// shards — never in zero — and recovery resolves the duplicate by move
+// generation (see vmalloc.ShardedRestore.Finish). Safe for concurrent use.
+type ShardedStore struct {
+	opts Options
+	dir  string
+
+	mu           sync.Mutex
+	cluster      *vmalloc.ShardedCluster
+	js           []*journal.Journal
+	tickets      []*journal.Ticket
+	moveIn       map[int]*journal.Ticket // pending MOVE_IN tickets by service id
+	hookErr      error                   // first enqueue-ordering failure, surfaced at finish
+	enqueued     int                     // records enqueued by the current mutation
+	recordsSince int
+	closed       bool
+	stats        Stats
+
+	// RecoveryWarnings describes cross-WAL repairs performed at boot
+	// (dropped duplicate copies of moved services, threshold
+	// realignment). Empty after a clean shutdown.
+	RecoveryWarnings []string
+
+	version   atomic.Uint64
+	published atomic.Pointer[publishedState]
+}
+
+// OpenSharded recovers (or bootstraps) a sharded journaled cluster in dir.
+// On first boot nodes defines the park and opts.Shards the partition, and a
+// manifest plus per-shard bootstrap snapshots are written; on every later
+// boot the manifest defines both and nodes is ignored (opts.Shards, when
+// non-zero, must agree with the manifest). opts.InitialState is not
+// supported for sharded stores.
+func OpenSharded(dir string, nodes []vmalloc.Node, opts *Options) (*ShardedStore, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if opts.InitialState != nil {
+		return nil, errors.New("server: sharded stores cannot bootstrap from -state-in; boot unsharded or admit through the API")
+	}
+	s := &ShardedStore{opts: *opts, dir: dir, moveIn: make(map[int]*journal.Ticket)}
+
+	m, err := LoadShardManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		k := opts.Shards
+		if k == 0 {
+			k = 1
+		}
+		if len(nodes) == 0 {
+			return nil, errors.New("server: fresh sharded directory needs nodes")
+		}
+		if k < 1 || k > len(nodes) {
+			return nil, fmt.Errorf("server: %d shards over %d nodes (want 1 <= shards <= nodes)", k, len(nodes))
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		m = &ShardManifest{Shards: k, Seed: opts.ShardSeed, Nodes: nodes}
+		if err := writeShardManifest(dir, m); err != nil {
+			return nil, fmt.Errorf("server: writing shard manifest: %w", err)
+		}
+	} else if opts.Shards != 0 && opts.Shards != m.Shards {
+		return nil, fmt.Errorf("server: -shards %d conflicts with recovered manifest (%d shards)", opts.Shards, m.Shards)
+	}
+	sopts := s.shardedOptions(m)
+
+	// Phase 1: per-shard journal recovery — newest snapshot per shard.
+	recs := make([]*journal.Recovery, m.Shards)
+	states := make([]*vmalloc.ClusterState, m.Shards)
+	fresh := false
+	defer func() {
+		for _, rc := range recs {
+			if rc != nil {
+				rc.Close()
+			}
+		}
+	}()
+	for i := 0; i < m.Shards; i++ {
+		rc, err := journal.Recover(journal.Options{
+			Dir:              shardDir(dir, i),
+			SegmentBytes:     opts.SegmentBytes,
+			Fsync:            opts.Fsync,
+			KeepSnapshots:    opts.KeepSnapshots,
+			ValidateSnapshot: func(b []byte) error { _, err := DecodeState(b); return err },
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: shard %d: %w", i, err)
+		}
+		recs[i] = rc
+		if snap := rc.Info().Snapshot; snap != nil {
+			st, err := DecodeState(snap)
+			if err != nil {
+				return nil, fmt.Errorf("server: shard %d: %w", i, err) // validated during Recover
+			}
+			states[i] = st
+		} else {
+			fresh = true
+		}
+	}
+
+	// Phase 2: restore engines from snapshots, replay each shard's tail.
+	restore, err := vmalloc.RestoreShardedCluster(m.Nodes, states, sopts)
+	if err != nil {
+		return nil, err
+	}
+	replayed, truncated := 0, 0
+	for i, rc := range recs {
+		shardIdx := i
+		if err := rc.Replay(func(r *journal.Record) error {
+			return applyShardRecord(restore, shardIdx, r)
+		}); err != nil {
+			return nil, fmt.Errorf("server: shard %d: %w", i, err)
+		}
+		info := rc.Info()
+		replayed += info.Replayed
+		truncated += info.TruncatedBytes
+		if info.SnapshotSeq > s.stats.SnapshotSeq {
+			s.stats.SnapshotSeq = info.SnapshotSeq
+		}
+	}
+	cluster, warnings, err := restore.Finish()
+	if err != nil {
+		return nil, err
+	}
+	s.cluster = cluster
+	s.RecoveryWarnings = warnings
+
+	// Phase 3: open the journals for appending and install the hook.
+	s.js = make([]*journal.Journal, m.Shards)
+	for i, rc := range recs {
+		j, err := rc.Journal()
+		if err != nil {
+			for _, open := range s.js {
+				if open != nil {
+					open.Close()
+				}
+			}
+			return nil, fmt.Errorf("server: shard %d: %w", i, err)
+		}
+		s.js[i] = j
+	}
+	s.stats.Replayed = replayed
+	s.stats.TruncatedBytes = truncated
+	s.stats.Threshold = cluster.State().Threshold
+	cluster.SetHook(s.onEvent)
+
+	if fresh || (opts.snapshotEvery() > 0 && replayed >= opts.snapshotEvery()) {
+		if _, err := s.Checkpoint(); err != nil {
+			s.closeJournals()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *ShardedStore) shardedOptions(m *ShardManifest) *vmalloc.ShardedOptions {
+	return &vmalloc.ShardedOptions{
+		ClusterOptions: s.opts.Cluster,
+		Shards:         m.Shards,
+		Seed:           m.Seed,
+		RebalanceGap:   s.opts.RebalanceGap,
+		RebalanceMoves: s.opts.RebalanceMoves,
+	}
+}
+
+// applyShardRecord replays one journaled decision of shard i.
+func applyShardRecord(rc *vmalloc.ShardedRestore, i int, r *journal.Record) error {
+	switch r.Op {
+	case journal.OpAdd:
+		return rc.ShardAdd(i, r.ID, r.Node, r.TrueSvc, r.EstSvc)
+	case journal.OpMoveIn:
+		return rc.ShardMoveIn(i, r.ID, r.Node, r.Gen, r.TrueSvc, r.EstSvc)
+	case journal.OpRemove:
+		return rc.ShardRemove(i, r.ID)
+	case journal.OpMoveOut:
+		return rc.ShardMoveOut(i, r.ID, r.Gen)
+	case journal.OpUpdateNeeds:
+		return rc.ShardUpdateNeeds(i, r.ID, r.Needs)
+	case journal.OpSetThreshold:
+		return rc.ShardSetThreshold(i, r.Threshold)
+	case journal.OpEpoch:
+		return rc.ShardApplyPlacement(i, r.IDs, r.Placement)
+	}
+	return fmt.Errorf("server: replay: unknown op %d (seq %d)", uint8(r.Op), r.Seq)
+}
+
+// onEvent journals one applied shard mutation. It runs while the mutation
+// holds s.mu, so per-journal enqueue order equals application order. For a
+// rebalance move the MOVE_OUT waits for its MOVE_IN to be durable before
+// being enqueued — the invariant recovery's duplicate resolution rests on.
+func (s *ShardedStore) onEvent(ev *vmalloc.ShardEvent) {
+	rec := &journal.Record{}
+	switch ev.Op {
+	case vmalloc.ClusterOpAdd:
+		rec.Op, rec.ID, rec.Node = journal.OpAdd, ev.ID, ev.Node
+		rec.TrueSvc, rec.EstSvc = *ev.TrueSvc, *ev.EstSvc
+	case vmalloc.ClusterOpMoveIn:
+		rec.Op, rec.ID, rec.Node, rec.Gen = journal.OpMoveIn, ev.ID, ev.Node, ev.Gen
+		rec.TrueSvc, rec.EstSvc = *ev.TrueSvc, *ev.EstSvc
+	case vmalloc.ClusterOpRemove:
+		rec.Op, rec.ID = journal.OpRemove, ev.ID
+	case vmalloc.ClusterOpMoveOut:
+		rec.Op, rec.ID, rec.Gen = journal.OpMoveOut, ev.ID, ev.Gen
+		if t := s.moveIn[ev.ID]; t != nil {
+			delete(s.moveIn, ev.ID)
+			if err := t.Wait(); err != nil && s.hookErr == nil {
+				s.hookErr = err
+			}
+		}
+	case vmalloc.ClusterOpUpdateNeeds:
+		rec.Op, rec.ID = journal.OpUpdateNeeds, ev.ID
+		rec.Needs = ev.Needs
+	case vmalloc.ClusterOpSetThreshold:
+		rec.Op, rec.Threshold = journal.OpSetThreshold, ev.Threshold
+	case vmalloc.ClusterOpEpoch:
+		rec.Op, rec.Repair, rec.Budget = journal.OpEpoch, ev.Repair, ev.Budget
+		rec.IDs, rec.Placement = ev.IDs, ev.Placement
+	default:
+		return
+	}
+	// Enqueue encodes synchronously, so aliasing engine buffers is safe.
+	t := s.js[ev.Shard].Enqueue(rec)
+	s.enqueued++
+	if rec.Op == journal.OpMoveIn {
+		// Tickets are single-use: the paired MOVE_OUT (or finish, if the
+		// pair never completes) waits this one, so it stays out of the
+		// common list.
+		s.moveIn[ev.ID] = t
+		return
+	}
+	s.tickets = append(s.tickets, t)
+}
+
+func (s *ShardedStore) begin() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	for _, j := range s.js {
+		if err := j.Err(); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("server: store failed: %w", err)
+		}
+	}
+	s.tickets = s.tickets[:0]
+	s.hookErr = nil
+	s.enqueued = 0
+	return nil
+}
+
+func (s *ShardedStore) finish() error {
+	tickets := s.tickets
+	s.tickets = nil
+	hookErr := s.hookErr
+	// Every MOVE_IN is normally consumed by its paired MOVE_OUT wait; any
+	// leftovers still owe a durability wait.
+	for id, t := range s.moveIn {
+		tickets = append(tickets, t)
+		delete(s.moveIn, id)
+	}
+	checkpoint := false
+	if n := s.enqueued; n > 0 {
+		s.version.Add(1)
+		s.stats.Records += uint64(n)
+		s.recordsSince += n
+		if every := s.opts.snapshotEvery(); every > 0 && s.recordsSince >= every {
+			s.recordsSince = 0
+			checkpoint = true
+		}
+	}
+	s.mu.Unlock()
+	for _, t := range tickets {
+		if err := t.Wait(); err != nil {
+			return fmt.Errorf("server: journal append: %w", err)
+		}
+	}
+	if hookErr != nil {
+		return fmt.Errorf("server: journal append: %w", hookErr)
+	}
+	if checkpoint {
+		if _, err := s.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Add admits a service (estimate equal to the true descriptor).
+func (s *ShardedStore) Add(svc vmalloc.Service) (id, node int, err error) {
+	return s.AddWithEstimate(svc, svc)
+}
+
+// AddWithEstimate admits a service through the deterministic two-choice
+// shard router; the admission decision is durable on return.
+func (s *ShardedStore) AddWithEstimate(trueSvc, estSvc vmalloc.Service) (id, node int, err error) {
+	if err := s.begin(); err != nil {
+		return 0, -1, err
+	}
+	id, ok, err := s.cluster.AddWithEstimate(trueSvc, estSvc)
+	if err != nil {
+		err = invalid(err)
+	}
+	node = -1
+	if err == nil && ok {
+		node, _ = s.cluster.Node(id)
+		s.stats.Adds++
+	} else if err == nil {
+		s.stats.Rejected++
+	}
+	if ferr := s.finish(); err == nil && ferr != nil {
+		err = ferr
+	}
+	if err != nil {
+		return 0, -1, err
+	}
+	if !ok {
+		return 0, -1, ErrRejected
+	}
+	return id, node, nil
+}
+
+// Remove departs a service; reports whether the id was live.
+func (s *ShardedStore) Remove(id int) (bool, error) {
+	if err := s.begin(); err != nil {
+		return false, err
+	}
+	ok := s.cluster.Remove(id)
+	if ok {
+		s.stats.Removes++
+	}
+	if err := s.finish(); err != nil {
+		return ok, err
+	}
+	return ok, nil
+}
+
+// UpdateNeeds replaces a live service's fluid needs.
+func (s *ShardedStore) UpdateNeeds(id int, trueElem, trueAgg, estElem, estAgg vmalloc.Vec) error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	err := s.cluster.UpdateNeeds(id, trueElem, trueAgg, estElem, estAgg)
+	if err != nil && !errors.Is(err, vmalloc.ErrUnknownService) {
+		err = invalid(err)
+	}
+	if err == nil {
+		s.stats.NeedUpdates++
+	}
+	if ferr := s.finish(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// SetThreshold changes the mitigation threshold on every shard.
+func (s *ShardedStore) SetThreshold(th float64) error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	err := s.cluster.SetThreshold(th)
+	if err != nil {
+		err = invalid(err)
+	} else {
+		s.stats.Threshold = th
+	}
+	if ferr := s.finish(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// Reallocate runs one scatter-gather reallocation epoch (with cross-shard
+// rebalancing); the applied placements are durable in every shard's WAL
+// when the call returns.
+func (s *ShardedStore) Reallocate() (*vmalloc.ClusterEpoch, error) {
+	return s.epoch(func(c *vmalloc.ShardedCluster) *vmalloc.ClusterEpoch { return c.Reallocate() })
+}
+
+// Repair runs one migration-bounded repair epoch per shard.
+func (s *ShardedStore) Repair(budget int) (*vmalloc.ClusterEpoch, error) {
+	return s.epoch(func(c *vmalloc.ShardedCluster) *vmalloc.ClusterEpoch { return c.Repair(budget) })
+}
+
+func (s *ShardedStore) epoch(run func(*vmalloc.ShardedCluster) *vmalloc.ClusterEpoch) (*vmalloc.ClusterEpoch, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	ce := run(s.cluster)
+	s.stats.Epochs++
+	if ce.Result.Solved {
+		s.stats.Migrations += uint64(ce.Migrations)
+		s.stats.LastMinYield = ce.Result.MinYield
+	} else {
+		s.stats.FailedEpochs++
+	}
+	if err := s.finish(); err != nil {
+		return ce, err
+	}
+	return ce, nil
+}
+
+// MinYield evaluates the current placement under the §6 error model,
+// minimized over non-empty shards.
+func (s *ShardedStore) MinYield(policy vmalloc.SchedPolicy) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	return s.cluster.MinYield(policy), nil
+}
+
+// ShardStats returns per-shard statistics.
+func (s *ShardedStore) ShardStats() ([]vmalloc.ShardStat, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	return s.cluster.ShardStats(), nil
+}
+
+// State returns the merged park-global cluster state and its stable JSON
+// encoding, served from the published snapshot. The returned state and
+// bytes are shared — callers must not modify them.
+func (s *ShardedStore) State() (*vmalloc.ClusterState, []byte, error) {
+	v := s.version.Load()
+	if p := s.published.Load(); p != nil && p.version == v {
+		return p.state, p.data, nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	v = s.version.Load()
+	st := s.cluster.State()
+	s.mu.Unlock()
+	data, err := EncodeState(st)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.published.Store(&publishedState{version: v, state: st, data: data})
+	return st, data, nil
+}
+
+// Checkpoint snapshots every shard and compacts the WALs behind the
+// snapshots. Before any snapshot is written, a barrier on every journal
+// waits out all previously enqueued records — so no shard snapshot can ever
+// include a rebalanced arrival whose matching departure is not yet durable
+// in the source shard's WAL. Returns the highest covered sequence number.
+func (s *ShardedStore) Checkpoint() (uint64, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	type shardSnap struct {
+		seq  uint64
+		data []byte
+	}
+	snaps := make([]shardSnap, len(s.js))
+	barriers := make([]*journal.Ticket, len(s.js))
+	var encErr error
+	for i, j := range s.js {
+		barriers[i] = j.Barrier()
+		st := s.cluster.ShardState(i)
+		data, err := EncodeState(st)
+		if err != nil {
+			encErr = err
+			break
+		}
+		snaps[i] = shardSnap{seq: j.LastSeq(), data: data}
+	}
+	s.mu.Unlock()
+	if encErr != nil {
+		return 0, encErr
+	}
+	for _, b := range barriers {
+		if err := b.Wait(); err != nil {
+			return 0, fmt.Errorf("server: checkpoint barrier: %w", err)
+		}
+	}
+	var maxSeq uint64
+	for i, j := range s.js {
+		if err := j.WriteSnapshot(snaps[i].seq, snaps[i].data); err != nil {
+			return 0, fmt.Errorf("server: shard %d snapshot: %w", i, err)
+		}
+		if snaps[i].seq > maxSeq {
+			maxSeq = snaps[i].seq
+		}
+	}
+	s.mu.Lock()
+	s.stats.Snapshots++
+	if maxSeq > s.stats.SnapshotSeq {
+		s.stats.SnapshotSeq = maxSeq
+	}
+	s.mu.Unlock()
+	return maxSeq, nil
+}
+
+// Stats returns a point-in-time counter snapshot (LastSeq is the sum over
+// shard journals, so it is monotone across any single-shard or epoch-wide
+// mutation).
+func (s *ShardedStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Services = s.cluster.Len()
+	for _, j := range s.js {
+		st.LastSeq += j.LastSeq()
+	}
+	st.Shards = len(s.js)
+	return st
+}
+
+func (s *ShardedStore) closeJournals() error {
+	var first error
+	for _, j := range s.js {
+		if err := j.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Kill abandons the store without the Close-time checkpoint, leaving every
+// shard directory exactly as a crash would. Crash tests use it; production
+// code wants Close.
+func (s *ShardedStore) Kill() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.published.Store(nil)
+	s.version.Add(1)
+	s.mu.Unlock()
+	s.closeJournals()
+}
+
+// Close checkpoints every shard and shuts the journals down. Further
+// operations fail with ErrClosed.
+func (s *ShardedStore) Close() error {
+	if _, err := s.Checkpoint(); err != nil && !errors.Is(err, ErrClosed) {
+		s.mu.Lock()
+		s.closed = true
+		s.published.Store(nil)
+		s.version.Add(1)
+		s.mu.Unlock()
+		s.closeJournals()
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.published.Store(nil)
+	s.version.Add(1)
+	s.mu.Unlock()
+	return s.closeJournals()
+}

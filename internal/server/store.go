@@ -44,8 +44,18 @@ type Options struct {
 	SnapshotEvery int
 	// InitialState bootstraps a fresh directory from a saved state file
 	// instead of an empty cluster (ignored when the directory already
-	// holds a journal).
+	// holds a journal; unsupported by sharded stores).
 	InitialState *vmalloc.ClusterState
+
+	// Sharded-store knobs (OpenSharded only). Shards is the placement
+	// domain count on first boot (0 selects 1; later boots take it from
+	// the manifest and only check for conflicts); ShardSeed fixes the
+	// admission hash; RebalanceGap/RebalanceMoves tune the cross-shard
+	// rebalance pass as in vmalloc.ShardedOptions.
+	Shards         int
+	ShardSeed      int64
+	RebalanceGap   float64
+	RebalanceMoves int
 }
 
 func (o *Options) snapshotEvery() int {
@@ -74,6 +84,8 @@ type Stats struct {
 	// Boot-time recovery facts.
 	Replayed       int `json:"replayed"`
 	TruncatedBytes int `json:"truncated_bytes"`
+	// Shards is the placement-domain count (0 for an unsharded store).
+	Shards int `json:"shards,omitempty"`
 }
 
 // ErrClosed is returned by operations on a closed store.

@@ -1,0 +1,350 @@
+package vmalloc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vmalloc/internal/engine"
+	"vmalloc/internal/shard"
+	"vmalloc/internal/vec"
+)
+
+// ShardedOptions tunes a ShardedCluster. The embedded ClusterOptions
+// configure each shard's engine exactly as they would a Cluster; note that
+// Parallel there races the solver roster *within* one shard — the shards
+// themselves always solve concurrently.
+type ShardedOptions struct {
+	ClusterOptions
+	// Shards is the placement-domain count K (1 <= K <= len(nodes)); 0
+	// selects 1. With K=1 the sharded cluster is bit-identical to a
+	// Cluster over the same nodes.
+	Shards int
+	// Seed fixes the deterministic best-of-two-choices admission hash.
+	Seed int64
+	// RebalanceGap triggers the cross-shard rebalance pass when the
+	// bottleneck shard's epoch yield trails the median shard yield by more
+	// than this; 0 selects the default (0.1), negative disables.
+	RebalanceGap float64
+	// RebalanceMoves caps services migrated per rebalance pass; 0 selects
+	// the default (2), negative disables.
+	RebalanceMoves int
+}
+
+func (o *ShardedOptions) shards() int {
+	if o.Shards == 0 {
+		return 1
+	}
+	return o.Shards
+}
+
+func (o *ShardedOptions) routerConfig(nodes []Node) shard.Config {
+	return shard.Config{
+		Nodes:      nodes,
+		Shards:     o.shards(),
+		Seed:       o.Seed,
+		Gap:        o.RebalanceGap,
+		Moves:      o.RebalanceMoves,
+		CPUDim:     o.CPUDim,
+		Tol:        o.Tolerance,
+		Placer:     engine.Placer(o.Placer),
+		Parallel:   o.Parallel,
+		Workers:    o.Workers,
+		UseLPBound: o.UseLPBound,
+	}
+}
+
+// ShardStat is a point-in-time description of one placement domain.
+type ShardStat = shard.Stat
+
+// ShardEvent describes one applied mutation of a single placement domain,
+// delivered to the sharded cluster's hook — the sharded counterpart of
+// ClusterEvent, extended with the owning shard and, for cross-shard
+// rebalance moves, the per-service move generation. Node indices are
+// shard-local (each shard's WAL replays onto its own domain); use
+// ShardedCluster.Node for the park-global index.
+//
+// Slice and pointer fields may alias engine buffers valid only for the
+// duration of the hook call.
+type ShardEvent struct {
+	Shard int
+	Op    ClusterOp
+	// Gen is the move generation (ClusterOpMoveIn, ClusterOpMoveOut).
+	Gen uint64
+
+	ID              int
+	Node            int
+	TrueSvc, EstSvc *Service
+	Needs           [4]Vec
+	Threshold       float64
+	IDs             []int
+	Placement       Placement
+	Repair          bool
+	Budget          int
+	Migrations      int
+	MinYield        float64
+}
+
+// ShardedCluster is the sharded serving tier: the node park partitioned into
+// K placement domains, each owning its own persistent engine and solver,
+// behind a router that admits services by shard headroom (deterministic
+// best-of-two-choices), runs reallocation epochs scatter-gather across the
+// domains, and migrates services out of the bottleneck shard when its yield
+// trails the median. It offers the Cluster surface plus per-shard
+// statistics; like Cluster it is not safe for concurrent use (the epoch
+// parallelism is internal).
+type ShardedCluster struct {
+	r    *shard.Router
+	hook func(*ShardEvent)
+}
+
+// NewShardedCluster returns an empty sharded cluster over the given node
+// park, split into opts.Shards contiguous placement domains.
+func NewShardedCluster(nodes []Node, opts *ShardedOptions) (*ShardedCluster, error) {
+	if opts == nil {
+		opts = &ShardedOptions{}
+	}
+	r, err := shard.New(opts.routerConfig(nodes))
+	if err != nil {
+		return nil, err
+	}
+	c := &ShardedCluster{r: r}
+	if err := c.SetThreshold(opts.Threshold); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SetHook installs fn as the mutation observer (nil uninstalls); see
+// Cluster.SetHook. Events carry the owning shard and fire in application
+// order. The hook must not call back into the cluster.
+func (c *ShardedCluster) SetHook(fn func(*ShardEvent)) {
+	c.hook = fn
+	if fn == nil {
+		c.r.SetHook(nil)
+		return
+	}
+	c.r.SetHook(func(ev *shard.Event) { fn(convertShardEvent(ev)) })
+}
+
+func convertShardEvent(ev *shard.Event) *ShardEvent {
+	out := &ShardEvent{
+		Shard:      ev.Shard,
+		Gen:        ev.Gen,
+		ID:         ev.ID,
+		Node:       ev.Node,
+		TrueSvc:    ev.TrueSvc,
+		EstSvc:     ev.EstSvc,
+		Threshold:  ev.Threshold,
+		IDs:        ev.IDs,
+		Placement:  ev.Placement,
+		Repair:     ev.Repair,
+		Budget:     ev.Budget,
+		Migrations: ev.Migrations,
+		MinYield:   ev.MinYield,
+	}
+	for i, v := range ev.Needs {
+		out.Needs[i] = Vec(v)
+	}
+	switch ev.Op {
+	case shard.OpAdd:
+		out.Op = ClusterOpAdd
+	case shard.OpRemove:
+		out.Op = ClusterOpRemove
+	case shard.OpUpdateNeeds:
+		out.Op = ClusterOpUpdateNeeds
+	case shard.OpSetThreshold:
+		out.Op = ClusterOpSetThreshold
+	case shard.OpEpoch:
+		out.Op = ClusterOpEpoch
+	case shard.OpMoveIn:
+		out.Op = ClusterOpMoveIn
+	case shard.OpMoveOut:
+		out.Op = ClusterOpMoveOut
+	}
+	return out
+}
+
+// Add admits a service whose CPU-need estimate is exact; see Cluster.Add.
+// The owning shard is recoverable via Shard, the park-global node via Node.
+func (c *ShardedCluster) Add(svc Service) (id int, ok bool, err error) {
+	return c.AddWithEstimate(svc, svc)
+}
+
+// AddWithEstimate admits a service whose scheduler-visible needs differ from
+// its true needs; see Cluster.AddWithEstimate.
+func (c *ShardedCluster) AddWithEstimate(trueSvc, estSvc Service) (id int, ok bool, err error) {
+	if err := validateServiceVecs(c.r.Dim(), "true", trueSvc); err != nil {
+		return 0, false, err
+	}
+	if err := validateServiceVecs(c.r.Dim(), "estimated", estSvc); err != nil {
+		return 0, false, err
+	}
+	id, _, _, ok = c.r.Add(trueSvc, estSvc)
+	return id, ok, nil
+}
+
+// Remove departs a live service in O(1). It reports whether id was live.
+func (c *ShardedCluster) Remove(id int) bool { return c.r.Remove(id) }
+
+// UpdateNeeds replaces the fluid needs (true and estimated) of a live
+// service; see Cluster.UpdateNeeds.
+func (c *ShardedCluster) UpdateNeeds(id int, trueNeedElem, trueNeedAgg, estNeedElem, estNeedAgg Vec) error {
+	d := c.r.Dim()
+	for _, vv := range []struct {
+		name string
+		v    Vec
+	}{
+		{"true elementary need", trueNeedElem},
+		{"true aggregate need", trueNeedAgg},
+		{"estimated elementary need", estNeedElem},
+		{"estimated aggregate need", estNeedAgg},
+	} {
+		if err := validateVec(d, vv.name, vv.v); err != nil {
+			return err
+		}
+	}
+	if !c.r.UpdateNeeds(id, vec.Vec(trueNeedElem), vec.Vec(trueNeedAgg),
+		vec.Vec(estNeedElem), vec.Vec(estNeedAgg)) {
+		return fmt.Errorf("vmalloc: %w with id %d", ErrUnknownService, id)
+	}
+	return nil
+}
+
+// SetThreshold sets the §6.2 mitigation threshold on every shard; see
+// Cluster.SetThreshold for the validation rationale.
+func (c *ShardedCluster) SetThreshold(th float64) error {
+	if th < 0 || math.IsNaN(th) || math.IsInf(th, 0) {
+		return fmt.Errorf("vmalloc: threshold %g invalid (want a finite value >= 0)", th)
+	}
+	c.r.SetThreshold(th)
+	return nil
+}
+
+// Len returns the number of live services across all shards.
+func (c *ShardedCluster) Len() int { return c.r.Len() }
+
+// Shards returns the placement-domain count K.
+func (c *ShardedCluster) Shards() int { return c.r.Shards() }
+
+// Node returns the park-global node currently hosting id.
+func (c *ShardedCluster) Node(id int) (int, bool) { return c.r.Node(id) }
+
+// Shard returns the placement domain owning id.
+func (c *ShardedCluster) Shard(id int) (int, bool) { return c.r.Shard(id) }
+
+// NodeRange returns the park-global [lo, hi) node interval of shard s.
+func (c *ShardedCluster) NodeRange(s int) (lo, hi int) { return c.r.NodeRange(s) }
+
+// Reallocate runs one reallocation epoch on every shard concurrently and
+// merges the outcome; when the bottleneck shard's yield trails the median by
+// more than the configured gap, a rebalance pass migrates services out of it
+// and re-solves the affected shards. The returned epoch is park-global:
+// ascending ids, park-global placement, min yield over shards.
+func (c *ShardedCluster) Reallocate() *ClusterEpoch {
+	return shardedEpoch(c.r.Reallocate())
+}
+
+// Repair runs one migration-bounded repair epoch per shard (budget applies
+// per shard; negative = unlimited). Repair skips the rebalance pass.
+func (c *ShardedCluster) Repair(budget int) *ClusterEpoch {
+	return shardedEpoch(c.r.Repair(budget))
+}
+
+func shardedEpoch(ep *shard.Epoch) *ClusterEpoch {
+	return &ClusterEpoch{
+		Result:     ep.Result,
+		IDs:        append([]int(nil), ep.IDs...),
+		Migrations: ep.Migrations,
+	}
+}
+
+// Snapshot returns a detached park-global copy of the cluster; see
+// Cluster.Snapshot.
+func (c *ShardedCluster) Snapshot() (*Problem, Placement, []int) { return c.r.Snapshot() }
+
+// MinYield evaluates the achieved minimum yield of the current placement
+// under the §6 error model, minimized over non-empty shards. Returns 1 for
+// an empty cluster.
+func (c *ShardedCluster) MinYield(policy SchedPolicy) float64 { return c.r.MinYield(policy) }
+
+// ShardStats returns per-shard statistics: size, headroom, last epoch
+// yield, epoch counters and cross-shard migration counts.
+func (c *ShardedCluster) ShardStats() []ShardStat { return c.r.Stats() }
+
+// ShardState returns the durable state of one placement domain: the shard's
+// own node slice plus its engine state (services keep their global ids;
+// node indices are shard-local). The per-shard states are the snapshot
+// payloads of the sharded durable tier.
+func (c *ShardedCluster) ShardState(s int) *ClusterState {
+	lo, hi := c.r.NodeRange(s)
+	nodes := cloneNodes(c.r.Nodes()[lo:hi])
+	return &ClusterState{Nodes: nodes, State: *c.r.ShardState(s)}
+}
+
+// State returns the merged park-global durable state: all nodes in park
+// order, services ascending by id with park-global node indices, and the
+// concatenated per-node loads. With K=1 it is bit-identical to the State of
+// an equivalent Cluster.
+func (c *ShardedCluster) State() *ClusterState {
+	st := &ClusterState{Nodes: cloneNodes(c.r.Nodes())}
+	st.Threshold = c.r.Threshold()
+	for s := 0; s < c.r.Shards(); s++ {
+		es := c.r.ShardState(s)
+		lo, _ := c.r.NodeRange(s)
+		for i := range es.Services {
+			if es.Services[i].Node != Unplaced {
+				es.Services[i].Node += lo
+			}
+		}
+		st.Services = append(st.Services, es.Services...)
+		st.ReqLoads = append(st.ReqLoads, es.ReqLoads...)
+		st.NeedLoads = append(st.NeedLoads, es.NeedLoads...)
+		if es.NextID > st.NextID {
+			st.NextID = es.NextID
+		}
+	}
+	sort.Slice(st.Services, func(i, j int) bool { return st.Services[i].ID < st.Services[j].ID })
+	return st
+}
+
+func cloneNodes(nodes []Node) []Node {
+	out := make([]Node, len(nodes))
+	for i, n := range nodes {
+		out[i] = Node{Name: n.Name, Elementary: n.Elementary.Clone(), Aggregate: n.Aggregate.Clone()}
+	}
+	return out
+}
+
+// validateVec mirrors the structural checks Problem.Validate applies to one
+// vector at the public boundary.
+func validateVec(d int, name string, v Vec) error {
+	if v.Dim() != d {
+		return fmt.Errorf("vmalloc: %s has %d dimensions, want %d", name, v.Dim(), d)
+	}
+	for dd, x := range v {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("vmalloc: %s has invalid value %g in dimension %d", name, x, dd)
+		}
+	}
+	return nil
+}
+
+// validateServiceVecs applies validateVec to all four descriptor vectors of
+// a service.
+func validateServiceVecs(d int, kind string, svc Service) error {
+	for _, vv := range []struct {
+		name string
+		v    Vec
+	}{
+		{"elementary requirement", svc.ReqElem},
+		{"aggregate requirement", svc.ReqAgg},
+		{"elementary need", svc.NeedElem},
+		{"aggregate need", svc.NeedAgg},
+	} {
+		if err := validateVec(d, fmt.Sprintf("%s service %s", kind, vv.name), vv.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package vmalloc
+
+import (
+	"fmt"
+
+	"vmalloc/internal/engine"
+	"vmalloc/internal/shard"
+	"vmalloc/internal/vec"
+)
+
+// ShardedRestore is an in-progress recovery of a ShardedCluster: the shard
+// engines have been rebuilt from their snapshot states, and the caller
+// replays each shard's journal tail through the Shard* methods before
+// Finish reconciles the shards into a ready cluster. It is the sharded
+// counterpart of the RestoreCluster / RestoreAdd / ApplyPlacement replay
+// seam of Cluster, with two additions a multi-WAL tier needs: move
+// generations (to resolve a rebalance move torn across two shard WALs) and
+// departure tombstones (to drop copies a stale source WAL resurrects).
+type ShardedRestore struct {
+	rc  *shard.Recovery
+	dim int
+}
+
+// RestoreShardedCluster begins recovery of a sharded cluster over the given
+// park. states holds one entry per shard — the shard's last snapshot, or
+// nil to bootstrap that shard empty. Each non-nil state must carry exactly
+// the node slice its shard owns under the park partition.
+func RestoreShardedCluster(nodes []Node, states []*ClusterState, opts *ShardedOptions) (*ShardedRestore, error) {
+	if opts == nil {
+		opts = &ShardedOptions{}
+	}
+	cfg := opts.routerConfig(nodes)
+	if len(states) != cfg.Shards {
+		return nil, fmt.Errorf("vmalloc: %d shard states for %d shards", len(states), cfg.Shards)
+	}
+	estates := make([]*engine.State, len(states))
+	for s, st := range states {
+		if st == nil {
+			continue
+		}
+		if err := st.Validate(); err != nil {
+			return nil, fmt.Errorf("vmalloc: shard %d state: %w", s, err)
+		}
+		lo, hi := shard.Partition(len(nodes), cfg.Shards, s)
+		if err := nodesMatch(nodes[lo:hi], st.Nodes); err != nil {
+			return nil, fmt.Errorf("vmalloc: shard %d state: %w", s, err)
+		}
+		estates[s] = &st.State
+	}
+	rc, err := shard.Restore(cfg, estates)
+	if err != nil {
+		return nil, err
+	}
+	d := 0
+	if len(nodes) > 0 {
+		d = nodes[0].Aggregate.Dim()
+	}
+	return &ShardedRestore{rc: rc, dim: d}, nil
+}
+
+func nodesMatch(want, got []Node) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("has %d nodes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Name != got[i].Name ||
+			!vecEqual(want[i].Elementary, got[i].Elementary) ||
+			!vecEqual(want[i].Aggregate, got[i].Aggregate) {
+			return fmt.Errorf("node %d differs from the park partition", i)
+		}
+	}
+	return nil
+}
+
+func vecEqual(a, b Vec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ShardAdd replays an admission (journal op ADD) into shard s.
+func (r *ShardedRestore) ShardAdd(s, id, node int, trueSvc, estSvc Service) error {
+	if err := validateServiceVecs(r.dim, "true", trueSvc); err != nil {
+		return err
+	}
+	if err := validateServiceVecs(r.dim, "estimated", estSvc); err != nil {
+		return err
+	}
+	return r.rc.ShardAdd(s, id, node, trueSvc, estSvc)
+}
+
+// ShardMoveIn replays a rebalance arrival (journal op MOVE_IN) into shard s.
+func (r *ShardedRestore) ShardMoveIn(s, id, node int, gen uint64, trueSvc, estSvc Service) error {
+	if err := validateServiceVecs(r.dim, "true", trueSvc); err != nil {
+		return err
+	}
+	if err := validateServiceVecs(r.dim, "estimated", estSvc); err != nil {
+		return err
+	}
+	return r.rc.ShardMoveIn(s, id, node, gen, trueSvc, estSvc)
+}
+
+// ShardRemove replays a departure (journal op REMOVE) from shard s.
+func (r *ShardedRestore) ShardRemove(s, id int) error { return r.rc.ShardRemove(s, id) }
+
+// ShardMoveOut replays a rebalance departure (journal op MOVE_OUT) from
+// shard s.
+func (r *ShardedRestore) ShardMoveOut(s, id int, gen uint64) error {
+	return r.rc.ShardMoveOut(s, id, gen)
+}
+
+// ShardUpdateNeeds replays a needs update in shard s.
+func (r *ShardedRestore) ShardUpdateNeeds(s, id int, needs [4]Vec) error {
+	var nv [4]vec.Vec
+	for i, v := range needs {
+		if err := validateVec(r.dim, "need", v); err != nil {
+			return err
+		}
+		nv[i] = vec.Vec(v)
+	}
+	return r.rc.ShardUpdateNeeds(s, id, nv)
+}
+
+// ShardSetThreshold replays a threshold change in shard s.
+func (r *ShardedRestore) ShardSetThreshold(s int, th float64) error {
+	return r.rc.ShardSetThreshold(s, th)
+}
+
+// ShardApplyPlacement replays an applied epoch in shard s (global ids,
+// shard-local placement, exactly as journaled).
+func (r *ShardedRestore) ShardApplyPlacement(s int, ids []int, pl Placement) error {
+	return r.rc.ShardApplyPlacement(s, ids, pl)
+}
+
+// Finish reconciles the replayed shards and returns the recovered cluster
+// plus human-readable warnings for any cross-WAL repairs (dropped duplicate
+// or resurrected copies, threshold realignment); warnings are empty after a
+// clean shutdown and after any crash outside a rebalance commit window.
+func (r *ShardedRestore) Finish() (*ShardedCluster, []string, error) {
+	router, warnings, err := r.rc.Finish()
+	if err != nil {
+		return nil, warnings, err
+	}
+	return &ShardedCluster{r: router}, warnings, nil
+}
