@@ -131,6 +131,48 @@ func (c *Cluster) AddWithEstimate(trueSvc, estSvc Service) (id int, ok bool, err
 	return id, ok, nil
 }
 
+// BatchEntry is one service of a bulk admission: the true descriptor and the
+// scheduler-visible estimate (pass the same service twice when the estimate
+// is exact).
+type BatchEntry struct {
+	True, Est Service
+}
+
+// BatchResult is the per-entry outcome of a bulk admission. Exactly one of
+// three states holds: Admitted (ID and Node are valid), rejected (Admitted
+// false, Err nil — no node could host the service), or invalid (Err non-nil —
+// the entry failed structural validation and was skipped without touching the
+// cluster).
+type BatchResult struct {
+	ID       int
+	Node     int
+	Admitted bool
+	Err      error
+}
+
+// AddBatch admits entries in order through the same admission path as
+// AddWithEstimate — each admission sees the capacity left by the previous
+// one, so the resulting ids, placements and hook events are exactly those of
+// len(entries) sequential calls. Entries failing validation are reported
+// per-entry and skipped; they never abort the rest of the batch.
+func (c *Cluster) AddBatch(entries []BatchEntry) []BatchResult {
+	out := make([]BatchResult, len(entries))
+	for i := range entries {
+		id, ok, err := c.AddWithEstimate(entries[i].True, entries[i].Est)
+		if err != nil {
+			out[i] = BatchResult{Node: Unplaced, Err: err}
+			continue
+		}
+		if !ok {
+			out[i] = BatchResult{Node: Unplaced}
+			continue
+		}
+		node, _ := c.Node(id)
+		out[i] = BatchResult{ID: id, Node: node, Admitted: true}
+	}
+	return out
+}
+
 // Remove departs a live service in O(1). It reports whether id was live.
 func (c *Cluster) Remove(id int) bool {
 	ok := c.eng.Remove(id)

@@ -1,0 +1,519 @@
+// Command loadgen drives a running vmallocd with an open-loop (Poisson
+// arrival) or closed-loop (saturation) workload and reports throughput and
+// HDR-quantile latency.
+//
+// Arrivals are generated on a schedule independent of response times; each
+// request's latency is measured from its *scheduled* arrival, so queueing
+// delay under overload is charged to the server rather than silently absorbed
+// by a stalled generator (no coordinated omission). With -rate 0 the
+// generator is closed-loop instead: -conns workers issue requests
+// back-to-back, which is the right mode for measuring peak throughput.
+//
+// The churn mix is add:remove:update request weights; adds carry -batch
+// services each (batch > 1 uses POST /v1/services:batch, batch == 1 the
+// single-admission endpoint), removes and updates target a random previously
+// admitted service.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8080 -rate 200 -duration 30s -mix 90:5:5
+//	loadgen -addr http://127.0.0.1:8080 -batch 64 -duration 10s   # closed-loop bulk admission
+//	loadgen -compare -batch 64 -min-speedup 5 -out BENCH_http.json
+//
+// -compare runs two closed-loop passes — single admission, then -batch — and
+// reports the admissions/sec speedup; -min-speedup and -min-rate turn the
+// run into a CI gate (exit 1 below the floor).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vmalloc"
+	"vmalloc/internal/metrics"
+)
+
+type config struct {
+	addr     string
+	rate     float64 // requests/sec; 0 = closed loop
+	duration time.Duration
+	conns    int
+	batch    int
+	mixAdd   int
+	mixRem   int
+	mixUpd   int
+	cpu      float64
+	need     float64
+	seed     int64
+}
+
+// Counts are the request and per-service outcome totals of one pass.
+type Counts struct {
+	Requests   uint64 `json:"requests"`
+	HTTPErrors uint64 `json:"http_errors"`
+	Dropped    uint64 `json:"dropped_arrivals"`
+	Services   uint64 `json:"services_offered"`
+	Admitted   uint64 `json:"admitted"`
+	Rejected   uint64 `json:"rejected"`
+	Invalid    uint64 `json:"invalid"`
+	Removes    uint64 `json:"removes"`
+	Updates    uint64 `json:"updates"`
+}
+
+// Latency summarizes the merged HDR histogram in milliseconds.
+type Latency struct {
+	P50  float64 `json:"p50_ms"`
+	P95  float64 `json:"p95_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+	Max  float64 `json:"max_ms"`
+	Mean float64 `json:"mean_ms"`
+}
+
+// Report is the JSON result of one pass.
+type Report struct {
+	Addr        string  `json:"addr"`
+	Mode        string  `json:"mode"` // "open" or "closed"
+	RateRPS     float64 `json:"offered_rps,omitempty"`
+	DurationSec float64 `json:"duration_sec"`
+	Conns       int     `json:"conns"`
+	Batch       int     `json:"batch"`
+	Mix         string  `json:"mix"`
+	Counts      Counts  `json:"counts"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	AdmittedPS  float64 `json:"admitted_per_sec"`
+	Latency     Latency `json:"latency"`
+}
+
+// CompareReport is the -compare output: single vs batched admission.
+type CompareReport struct {
+	Single  Report  `json:"single"`
+	Batch   Report  `json:"batch"`
+	Speedup float64 `json:"speedup"`
+}
+
+func main() {
+	var cfg config
+	var (
+		mix        = flag.String("mix", "1:0:0", "add:remove:update request weights")
+		out        = flag.String("out", "", "write the JSON report to this file")
+		compare    = flag.Bool("compare", false, "closed-loop single-vs-batch admission comparison")
+		minSpeedup = flag.Float64("min-speedup", 0, "with -compare: fail unless batch/single admissions-per-sec speedup reaches this")
+		minRate    = flag.Float64("min-rate", 0, "fail unless admissions/sec reaches this floor")
+	)
+	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "vmallocd base URL")
+	flag.Float64Var(&cfg.rate, "rate", 0, "offered requests/sec (Poisson arrivals; 0 = closed loop)")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "run length per pass")
+	flag.IntVar(&cfg.conns, "conns", 8, "concurrent workers (and max idle connections)")
+	flag.IntVar(&cfg.batch, "batch", 1, "services per admission request (>1 uses /v1/services:batch)")
+	flag.Float64Var(&cfg.cpu, "cpu", 0.00002, "rigid requirement per service, per dimension")
+	flag.Float64Var(&cfg.need, "need", 0.00002, "fluid need per service, per dimension")
+	flag.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed")
+	flag.Parse()
+
+	if _, err := fmt.Sscanf(*mix, "%d:%d:%d", &cfg.mixAdd, &cfg.mixRem, &cfg.mixUpd); err != nil {
+		fatal(fmt.Errorf("bad -mix %q (want add:remove:update, e.g. 90:5:5)", *mix))
+	}
+	if cfg.mixAdd <= 0 && cfg.mixRem <= 0 && cfg.mixUpd <= 0 {
+		fatal(fmt.Errorf("-mix %q offers no work", *mix))
+	}
+	if cfg.batch < 1 || cfg.batch > 4096 {
+		fatal(fmt.Errorf("-batch must be in [1, 4096]"))
+	}
+
+	dim, err := discoverDim(cfg.addr)
+	if err != nil {
+		fatal(fmt.Errorf("probing %s: %w", cfg.addr, err))
+	}
+
+	var result any
+	ok := true
+	if *compare {
+		single := cfg
+		single.rate = 0
+		single.batch = 1
+		batched := cfg
+		batched.rate = 0
+		if batched.batch == 1 {
+			batched.batch = 64
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: single-admission pass (%s, %d conns)\n", cfg.duration, cfg.conns)
+		r1 := runPass(single, *mix, dim)
+		fmt.Fprintf(os.Stderr, "loadgen: batch=%d pass (%s, %d conns)\n", batched.batch, cfg.duration, cfg.conns)
+		r2 := runPass(batched, *mix, dim)
+		cr := CompareReport{Single: r1, Batch: r2}
+		if r1.AdmittedPS > 0 {
+			cr.Speedup = r2.AdmittedPS / r1.AdmittedPS
+		}
+		result = cr
+		fmt.Printf("single: %.0f admissions/sec (p99 %.2fms)\nbatch=%d: %.0f admissions/sec (p99 %.2fms)\nspeedup: %.2fx\n",
+			r1.AdmittedPS, r1.Latency.P99, batched.batch, r2.AdmittedPS, r2.Latency.P99, cr.Speedup)
+		if *minSpeedup > 0 && cr.Speedup < *minSpeedup {
+			fmt.Fprintf(os.Stderr, "loadgen: FAIL: speedup %.2fx below floor %.2fx\n", cr.Speedup, *minSpeedup)
+			ok = false
+		}
+		if *minRate > 0 && r2.AdmittedPS < *minRate {
+			fmt.Fprintf(os.Stderr, "loadgen: FAIL: %.0f admissions/sec below floor %.0f\n", r2.AdmittedPS, *minRate)
+			ok = false
+		}
+	} else {
+		r := runPass(cfg, *mix, dim)
+		result = r
+		fmt.Printf("%s load: %.0f requests/sec achieved, %.0f admissions/sec\n",
+			r.Mode, r.AchievedRPS, r.AdmittedPS)
+		fmt.Printf("latency ms: p50 %.2f  p95 %.2f  p99 %.2f  p999 %.2f  max %.2f\n",
+			r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.P999, r.Latency.Max)
+		if *minRate > 0 && r.AdmittedPS < *minRate {
+			fmt.Fprintf(os.Stderr, "loadgen: FAIL: %.0f admissions/sec below floor %.0f\n", r.AdmittedPS, *minRate)
+			ok = false
+		}
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(result, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// discoverDim reads the resource dimensionality from the server's snapshot so
+// generated services match the recovered platform.
+func discoverDim(addr string) (int, error) {
+	resp, err := http.Get(addr + "/v1/snapshot")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET /v1/snapshot: %s", resp.Status)
+	}
+	var snap struct {
+		Nodes []struct {
+			Elementary []float64 `json:"elementary"`
+		} `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return 0, err
+	}
+	if len(snap.Nodes) == 0 || len(snap.Nodes[0].Elementary) == 0 {
+		return 0, fmt.Errorf("snapshot has no platform")
+	}
+	return len(snap.Nodes[0].Elementary), nil
+}
+
+// liveSet tracks admitted service ids so removes and updates have targets.
+type liveSet struct {
+	mu  sync.Mutex
+	ids []int
+}
+
+func (l *liveSet) add(ids ...int) {
+	l.mu.Lock()
+	l.ids = append(l.ids, ids...)
+	l.mu.Unlock()
+}
+
+// pick returns a random live id; take additionally claims it (for removes).
+func (l *liveSet) pick(rng *rand.Rand, take bool) (int, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ids) == 0 {
+		return 0, false
+	}
+	i := rng.Intn(len(l.ids))
+	id := l.ids[i]
+	if take {
+		l.ids[i] = l.ids[len(l.ids)-1]
+		l.ids = l.ids[:len(l.ids)-1]
+	}
+	return id, true
+}
+
+type worker struct {
+	cfg    config
+	dim    int
+	client *http.Client
+	rng    *rand.Rand
+	live   *liveSet
+	lat    *metrics.HDR
+	counts Counts
+}
+
+func runPass(cfg config, mix string, dim int) Report {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.conns,
+		MaxIdleConnsPerHost: cfg.conns,
+	}}
+	live := &liveSet{}
+	workers := make([]*worker, cfg.conns)
+	for i := range workers {
+		workers[i] = &worker{
+			cfg: cfg, dim: dim, client: client, live: live,
+			rng: rand.New(rand.NewSource(cfg.seed + int64(i)*7919)),
+			lat: metrics.NewHDR(),
+		}
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	var dropped atomic.Uint64
+	var wg sync.WaitGroup
+	if cfg.rate > 0 {
+		// Open loop: one generator emits scheduled Poisson arrivals; workers
+		// measure latency from the scheduled instant, so server-side queueing
+		// under overload shows up in the quantiles.
+		jobs := make(chan time.Time, 1<<16)
+		go func() {
+			defer close(jobs)
+			rng := rand.New(rand.NewSource(cfg.seed ^ 0x5851f42d4c957f2d))
+			next := start
+			for {
+				next = next.Add(time.Duration(rng.ExpFloat64() / cfg.rate * float64(time.Second)))
+				if next.After(deadline) {
+					return
+				}
+				time.Sleep(time.Until(next))
+				select {
+				case jobs <- next:
+				default:
+					dropped.Add(1) // generator queue overflow: server hopelessly behind
+				}
+			}
+		}()
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				for sched := range jobs {
+					w.doOp(sched)
+				}
+			}(w)
+		}
+	} else {
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					w.doOp(time.Now())
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := Counts{Dropped: dropped.Load()}
+	lat := metrics.NewHDR()
+	for _, w := range workers {
+		total.Requests += w.counts.Requests
+		total.HTTPErrors += w.counts.HTTPErrors
+		total.Services += w.counts.Services
+		total.Admitted += w.counts.Admitted
+		total.Rejected += w.counts.Rejected
+		total.Invalid += w.counts.Invalid
+		total.Removes += w.counts.Removes
+		total.Updates += w.counts.Updates
+		lat.Merge(w.lat)
+	}
+	mode := "closed"
+	if cfg.rate > 0 {
+		mode = "open"
+	}
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	return Report{
+		Addr: cfg.addr, Mode: mode, RateRPS: cfg.rate,
+		DurationSec: elapsed.Seconds(), Conns: cfg.conns, Batch: cfg.batch,
+		Mix: mix, Counts: total,
+		AchievedRPS: float64(total.Requests) / elapsed.Seconds(),
+		AdmittedPS:  float64(total.Admitted) / elapsed.Seconds(),
+		Latency: Latency{
+			P50:  ms(lat.Quantile(0.50)),
+			P95:  ms(lat.Quantile(0.95)),
+			P99:  ms(lat.Quantile(0.99)),
+			P999: ms(lat.Quantile(0.999)),
+			Max:  ms(lat.Max()),
+			Mean: lat.Mean() / 1e6,
+		},
+	}
+}
+
+// doOp draws one request from the churn mix, executes it, and records its
+// latency from the scheduled arrival instant.
+func (w *worker) doOp(scheduled time.Time) {
+	k := w.rng.Intn(w.cfg.mixAdd + w.cfg.mixRem + w.cfg.mixUpd)
+	switch {
+	case k < w.cfg.mixAdd:
+		w.doAdd()
+	case k < w.cfg.mixAdd+w.cfg.mixRem:
+		w.doRemove()
+	default:
+		w.doUpdate()
+	}
+	w.counts.Requests++
+	w.lat.Record(time.Since(scheduled).Nanoseconds())
+}
+
+// service builds one small service matching the platform's dimensionality,
+// with mild size jitter so admissions are not byte-identical.
+func (w *worker) service() vmalloc.Service {
+	req := make(vmalloc.Vec, w.dim)
+	need := make(vmalloc.Vec, w.dim)
+	for d := range req {
+		req[d] = w.cfg.cpu * (0.5 + w.rng.Float64())
+		need[d] = w.cfg.need * (0.5 + w.rng.Float64())
+	}
+	return vmalloc.Service{
+		ReqElem: req, ReqAgg: req.Clone(),
+		NeedElem: need, NeedAgg: need.Clone(),
+	}
+}
+
+type addReq struct {
+	True *vmalloc.Service `json:"true"`
+}
+
+func (w *worker) doAdd() {
+	if w.cfg.batch == 1 {
+		var resp struct {
+			ID int `json:"id"`
+		}
+		w.counts.Services++
+		code := w.post("POST", "/v1/services", addReq{True: ptr(w.service())}, &resp)
+		switch code {
+		case http.StatusCreated:
+			w.counts.Admitted++
+			w.live.add(resp.ID)
+		case http.StatusConflict:
+			w.counts.Rejected++
+		case http.StatusBadRequest:
+			w.counts.Invalid++
+		}
+		return
+	}
+	entries := make([]addReq, w.cfg.batch)
+	for i := range entries {
+		entries[i] = addReq{True: ptr(w.service())}
+	}
+	w.counts.Services += uint64(len(entries))
+	var resp struct {
+		Results []struct {
+			ID *int `json:"id"`
+		} `json:"results"`
+		Admitted int `json:"admitted"`
+		Rejected int `json:"rejected"`
+		Invalid  int `json:"invalid"`
+	}
+	code := w.post("POST", "/v1/services:batch", struct {
+		Services []addReq `json:"services"`
+	}{entries}, &resp)
+	if code != http.StatusOK {
+		return
+	}
+	w.counts.Admitted += uint64(resp.Admitted)
+	w.counts.Rejected += uint64(resp.Rejected)
+	w.counts.Invalid += uint64(resp.Invalid)
+	ids := make([]int, 0, len(resp.Results))
+	for _, r := range resp.Results {
+		if r.ID != nil {
+			ids = append(ids, *r.ID)
+		}
+	}
+	w.live.add(ids...)
+}
+
+func (w *worker) doRemove() {
+	id, ok := w.live.pick(w.rng, true)
+	if !ok {
+		w.doAdd() // nothing to remove yet: keep offering load
+		return
+	}
+	code := w.post("DELETE", fmt.Sprintf("/v1/services/%d", id), nil, nil)
+	if code == http.StatusOK {
+		w.counts.Removes++
+	}
+}
+
+func (w *worker) doUpdate() {
+	id, ok := w.live.pick(w.rng, false)
+	if !ok {
+		w.doAdd()
+		return
+	}
+	need := make(vmalloc.Vec, w.dim)
+	for d := range need {
+		need[d] = w.cfg.need * (0.5 + w.rng.Float64())
+	}
+	body := struct {
+		TrueElem vmalloc.Vec `json:"true_elem"`
+		TrueAgg  vmalloc.Vec `json:"true_agg"`
+		EstElem  vmalloc.Vec `json:"est_elem"`
+		EstAgg   vmalloc.Vec `json:"est_agg"`
+	}{need, need.Clone(), need.Clone(), need.Clone()}
+	code := w.post("PUT", fmt.Sprintf("/v1/services/%d/needs", id), body, nil)
+	if code == http.StatusOK {
+		w.counts.Updates++
+	}
+}
+
+// post issues one JSON request and decodes the response into out (when
+// non-nil and the status is 2xx). It returns the status code, 0 on transport
+// error.
+func (w *worker) post(method, path string, body, out any) int {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			w.counts.HTTPErrors++
+			return 0
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, w.cfg.addr+path, rd)
+	if err != nil {
+		w.counts.HTTPErrors++
+		return 0
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		w.counts.HTTPErrors++
+		return 0
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			w.counts.HTTPErrors++
+			return 0
+		}
+	}
+	return resp.StatusCode
+}
+
+func ptr[T any](v T) *T { return &v }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -71,6 +71,7 @@ func main() {
 		snapEvery = flag.Int("snapshot-every", 0, "checkpoint after this many records (0 = 4096, negative disables)")
 		segBytes  = flag.Int64("segment-bytes", 0, "WAL segment rotation size (0 = 8 MiB)")
 		fsync     = flag.String("fsync", "batch", "durability mode: batch (group commit) or none")
+		noMetrics = flag.Bool("no-metrics", false, "disable GET /metrics and per-endpoint instrumentation")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -178,9 +179,13 @@ func main() {
 	log.Printf("vmallocd: recovered %d services in %d shard(s) (replayed %d records, snapshot seq %d, truncated %d torn bytes)",
 		stats.Services, max(stats.Shards, 1), stats.Replayed, stats.SnapshotSeq, stats.TruncatedBytes)
 
+	var m *server.Metrics
+	if !*noMetrics {
+		m = server.NewMetrics(s)
+	}
 	httpSrv := &http.Server{
 		Addr:    *addr,
-		Handler: server.Handler(s),
+		Handler: server.NewHandler(s, m),
 		// A slow-header client must not pin a connection forever
 		// (slowloris); epochs can legitimately run long, so responses get
 		// no WriteTimeout — only reads and idle keep-alives are bounded.

@@ -1,0 +1,188 @@
+package journal
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestBatchCommitRoundTrip pins the group-append contract: every record of a
+// committed batch is durable, in order, with consecutive sequence numbers —
+// and the whole batch costs one commit write and (in FsyncBatch mode) one
+// fsync.
+func TestBatchCommitRoundTrip(t *testing.T) {
+	opts := Options{Dir: t.TempDir(), Fsync: FsyncBatch}
+	j := openFresh(t, opts)
+	want := testRecords(25)
+	b := j.NewBatch()
+	for _, r := range want {
+		if err := b.Add(r); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if b.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(want))
+	}
+	if err := b.Commit().Wait(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("batch not reset after Commit: Len = %d", b.Len())
+	}
+	st := j.IOStats()
+	if st.Records != uint64(len(want)) || st.Batches != 1 || st.Fsyncs != 1 {
+		t.Fatalf("IOStats after one batch: %+v", st)
+	}
+	// 25 records land in the (16, 32] bucket.
+	if st.BatchSizes[5] != 1 {
+		t.Fatalf("batch-size histogram: %+v", st.BatchSizes)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	got, info, j2 := replayAll(t, opts)
+	defer j2.Close()
+	if info.Replayed != len(want) {
+		t.Fatalf("replayed %d records, want %d", info.Replayed, len(want))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d replayed with seq %d", i, r.Seq)
+		}
+		wantCp := *want[i]
+		wantCp.Seq = r.Seq
+		if !reflect.DeepEqual(*r, wantCp) {
+			t.Fatalf("record %d differs:\ngot  %+v\nwant %+v", i, *r, wantCp)
+		}
+	}
+}
+
+// TestBatchEmptyCommit: committing an empty batch is a durable no-op.
+func TestBatchEmptyCommit(t *testing.T) {
+	j := openFresh(t, Options{Dir: t.TempDir()})
+	defer j.Close()
+	if err := j.NewBatch().Commit().Wait(); err != nil {
+		t.Fatalf("empty Commit: %v", err)
+	}
+	if st := j.IOStats(); st.Records != 0 || st.Batches != 0 {
+		t.Fatalf("empty commit touched the log: %+v", st)
+	}
+	if j.LastSeq() != 0 {
+		t.Fatalf("empty commit advanced seq to %d", j.LastSeq())
+	}
+}
+
+// TestBatchInterleavedWithEnqueue: batches racing single appends must yield
+// unique, gap-free sequence numbers with every batch's records contiguous.
+func TestBatchInterleavedWithEnqueue(t *testing.T) {
+	opts := Options{Dir: t.TempDir()}
+	j := openFresh(t, opts)
+	const (
+		writers   = 4
+		perWriter = 20
+		batchLen  = 5
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w%2 == 0 {
+				b := j.NewBatch()
+				for i := 0; i < perWriter; i++ {
+					if err := b.Add(testRecords(1)[0]); err != nil {
+						t.Errorf("Add: %v", err)
+						return
+					}
+					if b.Len() == batchLen {
+						if err := b.Commit().Wait(); err != nil {
+							t.Errorf("Commit: %v", err)
+							return
+						}
+					}
+				}
+			} else {
+				for i := 0; i < perWriter; i++ {
+					if err := j.Append(testRecords(1)[0]); err != nil {
+						t.Errorf("Append: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	got, info, j2 := replayAll(t, opts)
+	defer j2.Close()
+	const total = writers * perWriter
+	if info.Replayed != total {
+		t.Fatalf("replayed %d, want %d", info.Replayed, total)
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("sequence gap at %d: seq %d", i, r.Seq)
+		}
+	}
+}
+
+// TestBatchOversizeRecord: a record over the frame limit is rejected without
+// corrupting the rest of the batch.
+func TestBatchOversizeRecord(t *testing.T) {
+	opts := Options{Dir: t.TempDir()}
+	j := openFresh(t, opts)
+	b := j.NewBatch()
+	if err := b.Add(testRecords(1)[0]); err != nil {
+		t.Fatalf("Add small: %v", err)
+	}
+	huge := testRecords(1)[0]
+	huge.TrueSvc.Name = string(make([]byte, maxPayloadBytes))
+	if err := b.Add(huge); err == nil {
+		t.Fatal("oversize record joined the batch")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len after rejected Add = %d, want 1", b.Len())
+	}
+	if err := b.Commit().Wait(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, info, j2 := replayAll(t, opts)
+	defer j2.Close()
+	if info.Replayed != 1 {
+		t.Fatalf("replayed %d, want 1", info.Replayed)
+	}
+}
+
+// TestGroupCommitAmortization: N concurrent single appends under FsyncBatch
+// must complete with fewer fsyncs than records — the group commit is the
+// mechanism the batched admission path builds on.
+func TestGroupCommitAmortization(t *testing.T) {
+	j := openFresh(t, Options{Dir: t.TempDir(), Fsync: FsyncBatch})
+	defer j.Close()
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := j.Append(testRecords(1)[0]); err != nil {
+				t.Errorf("Append: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := j.IOStats()
+	if st.Records != n {
+		t.Fatalf("Records = %d, want %d", st.Records, n)
+	}
+	if st.Fsyncs == 0 || st.Fsyncs > st.Records {
+		t.Fatalf("Fsyncs = %d for %d records", st.Fsyncs, st.Records)
+	}
+}

@@ -262,6 +262,8 @@ type Journal struct {
 
 	lock *os.File // exclusive directory lock, released at Close
 
+	io ioCounters // write-path instrumentation (see IOStats)
+
 	snapMu sync.Mutex // serializes WriteSnapshot
 }
 
@@ -521,11 +523,13 @@ func (j *Journal) commit(b *pending) error {
 		}
 		j.fileSize += int64(len(b.buf))
 	}
-	if j.opts.Fsync == FsyncBatch || b.barrier {
+	synced := j.opts.Fsync == FsyncBatch || b.barrier
+	if synced {
 		if err := j.file.Sync(); err != nil {
 			return fmt.Errorf("journal: %w", err)
 		}
 	}
+	j.io.noteBatch(b.recs, synced)
 	j.committedSeq += uint64(b.recs)
 	return nil
 }
@@ -540,6 +544,7 @@ func (j *Journal) rotate() error {
 		return fmt.Errorf("journal: %w", err)
 	}
 	j.file = nil
+	j.io.rotations.Add(1)
 	return j.openSegment(j.committedSeq + 1)
 }
 

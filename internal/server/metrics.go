@@ -1,0 +1,202 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"vmalloc"
+	"vmalloc/internal/journal"
+	"vmalloc/internal/metrics"
+)
+
+// journalStatser is the optional journal I/O statistics surface; stores that
+// provide it feed the vmallocd_journal_* families.
+type journalStatser interface {
+	JournalIOStats() journal.IOStats
+}
+
+// Metrics instruments the HTTP surface and exposes store, shard and journal
+// state in the Prometheus text format on GET /metrics.
+type Metrics struct {
+	reg  *metrics.Registry
+	reqs *metrics.CounterVec
+	lat  *metrics.HistogramVec
+}
+
+// NewMetrics builds the metric registry over a store: per-endpoint request
+// counters and latency histograms, plus scrape-time collectors over
+// s.Stats(), per-shard statistics (sharded stores) and journal I/O counters.
+func NewMetrics(s API) *Metrics {
+	reg := metrics.NewRegistry()
+	m := &Metrics{reg: reg}
+	m.reqs = reg.NewCounterVec("vmallocd_http_requests_total",
+		"HTTP requests served, by method, route pattern and status code.")
+	m.lat = reg.NewHistogramVec("vmallocd_http_request_seconds",
+		"HTTP request latency in seconds, by method and route pattern.",
+		metrics.ExpBuckets(0.0001, 2, 16))
+
+	gauge := func(name, help string, f func(st Stats) float64) {
+		reg.Collect(name, help, "gauge", func(emit func(metrics.Labels, float64)) {
+			emit(nil, f(s.Stats()))
+		})
+	}
+	counter := func(name, help string, f func(st Stats) float64) {
+		reg.Collect(name, help, "counter", func(emit func(metrics.Labels, float64)) {
+			emit(nil, f(s.Stats()))
+		})
+	}
+	gauge("vmallocd_services", "Live services currently placed.",
+		func(st Stats) float64 { return float64(st.Services) })
+	gauge("vmallocd_threshold", "Resource-pressure mitigation threshold.",
+		func(st Stats) float64 { return st.Threshold })
+	gauge("vmallocd_last_min_yield", "Minimum yield of the last solved epoch.",
+		func(st Stats) float64 { return st.LastMinYield })
+	reg.Collect("vmallocd_admissions_total",
+		"Admission requests by result.", "counter",
+		func(emit func(metrics.Labels, float64)) {
+			st := s.Stats()
+			emit(metrics.L("result", "admitted"), float64(st.Adds))
+			emit(metrics.L("result", "rejected"), float64(st.Rejected))
+		})
+	counter("vmallocd_admission_batches_total", "Bulk admission batches committed.",
+		func(st Stats) float64 { return float64(st.Batches) })
+	counter("vmallocd_removes_total", "Service departures.",
+		func(st Stats) float64 { return float64(st.Removes) })
+	counter("vmallocd_need_updates_total", "Fluid-need replacements.",
+		func(st Stats) float64 { return float64(st.NeedUpdates) })
+	counter("vmallocd_epochs_total", "Reallocation epochs run.",
+		func(st Stats) float64 { return float64(st.Epochs) })
+	counter("vmallocd_failed_epochs_total", "Reallocation epochs that failed to solve.",
+		func(st Stats) float64 { return float64(st.FailedEpochs) })
+	counter("vmallocd_migrations_total", "Service migrations applied by epochs.",
+		func(st Stats) float64 { return float64(st.Migrations) })
+	counter("vmallocd_journal_records_total", "Records appended to the journal.",
+		func(st Stats) float64 { return float64(st.Records) })
+	counter("vmallocd_snapshots_total", "Checkpoints written.",
+		func(st Stats) float64 { return float64(st.Snapshots) })
+	gauge("vmallocd_journal_last_seq", "Sequence number of the newest journal record.",
+		func(st Stats) float64 { return float64(st.LastSeq) })
+	gauge("vmallocd_snapshot_seq", "Sequence number covered by the newest snapshot.",
+		func(st Stats) float64 { return float64(st.SnapshotSeq) })
+
+	if js, ok := s.(journalStatser); ok {
+		reg.Collect("vmallocd_journal_fsyncs_total",
+			"Fsync barriers issued by the journal committer; records divided by "+
+				"fsyncs is the group-commit amortization factor.", "counter",
+			func(emit func(metrics.Labels, float64)) {
+				emit(nil, float64(js.JournalIOStats().Fsyncs))
+			})
+		reg.Collect("vmallocd_journal_rotations_total",
+			"Journal segment rotations.", "counter",
+			func(emit func(metrics.Labels, float64)) {
+				emit(nil, float64(js.JournalIOStats().Rotations))
+			})
+		bounds := make([]float64, len(journal.BatchSizeBounds))
+		for i, b := range journal.BatchSizeBounds {
+			bounds[i] = float64(b)
+		}
+		reg.CollectHistogram("vmallocd_journal_commit_records",
+			"Records per journal commit batch (one write, at most one fsync).",
+			func() metrics.HistogramSnapshot {
+				io := js.JournalIOStats()
+				cum := make([]uint64, len(bounds))
+				run := uint64(0)
+				for i := range bounds {
+					run += io.BatchSizes[i]
+					cum[i] = run
+				}
+				return metrics.HistogramSnapshot{
+					Bounds: bounds, CumCounts: cum,
+					Count: io.Batches, Sum: float64(io.Records),
+				}
+			})
+	}
+
+	if ss, ok := s.(shardStatser); ok {
+		shardGauge := func(name, help string, f func(st vmalloc.ShardStat) (float64, bool)) {
+			reg.Collect(name, help, "gauge", func(emit func(metrics.Labels, float64)) {
+				stats, err := ss.ShardStats()
+				if err != nil {
+					return
+				}
+				for _, st := range stats {
+					if v, ok := f(st); ok {
+						emit(metrics.L("shard", strconv.Itoa(st.Shard)), v)
+					}
+				}
+			})
+		}
+		shardGauge("vmallocd_shard_services", "Live services per placement domain.",
+			func(st vmalloc.ShardStat) (float64, bool) { return float64(st.Services), true })
+		shardGauge("vmallocd_shard_headroom", "Admission headroom per placement domain.",
+			func(st vmalloc.ShardStat) (float64, bool) { return st.Headroom, true })
+		shardGauge("vmallocd_shard_min_yield",
+			"Minimum yield of the shard's last solved epoch (absent before any).",
+			func(st vmalloc.ShardStat) (float64, bool) { return st.LastMinYield, st.YieldValid })
+		reg.Collect("vmallocd_shard_epochs_total",
+			"Per-shard reallocation epochs by result.", "counter",
+			func(emit func(metrics.Labels, float64)) {
+				stats, err := ss.ShardStats()
+				if err != nil {
+					return
+				}
+				for _, st := range stats {
+					sh := strconv.Itoa(st.Shard)
+					emit(metrics.L("shard", sh, "result", "solved"), float64(st.Epochs-st.FailedEpochs))
+					emit(metrics.L("shard", sh, "result", "failed"), float64(st.FailedEpochs))
+				}
+			})
+		reg.Collect("vmallocd_shard_moves_total",
+			"Cross-shard rebalance migrations by direction.", "counter",
+			func(emit func(metrics.Labels, float64)) {
+				stats, err := ss.ShardStats()
+				if err != nil {
+					return
+				}
+				for _, st := range stats {
+					sh := strconv.Itoa(st.Shard)
+					emit(metrics.L("shard", sh, "direction", "in"), float64(st.MovedIn))
+					emit(metrics.L("shard", sh, "direction", "out"), float64(st.MovedOut))
+				}
+			})
+	}
+	return m
+}
+
+// serveText renders the registry as Prometheus text exposition 0.0.4.
+func (m *Metrics) serveText(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m.reg.WriteText(w)
+}
+
+// statusWriter captures the response status code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps h with a request counter and latency histogram labelled by
+// method and route pattern; the status code labels the counter only, keeping
+// histogram cardinality down.
+func (m *Metrics) instrument(method, pattern string, h http.HandlerFunc) http.HandlerFunc {
+	hist := m.lat.With(metrics.L("method", method, "path", pattern))
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		hist.Observe(time.Since(start).Seconds())
+		m.reqs.With(metrics.L("method", method, "path", pattern, "code", strconv.Itoa(code))).Inc()
+	}
+}

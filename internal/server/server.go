@@ -17,6 +17,7 @@ import (
 // the call returns.
 type API interface {
 	AddWithEstimate(trueSvc, estSvc vmalloc.Service) (id, node int, err error)
+	AddBatch(specs []AddSpec) ([]AddOutcome, error)
 	Remove(id int) (bool, error)
 	UpdateNeeds(id int, trueElem, trueAgg, estElem, estAgg vmalloc.Vec) error
 	SetThreshold(th float64) error
@@ -34,9 +35,265 @@ type shardStatser interface {
 	ShardStats() ([]vmalloc.ShardStat, error)
 }
 
-// Handler returns the vmallocd HTTP/JSON API over a store:
+// route is one entry of the HTTP surface: a method, a ServeMux pattern and
+// the handler serving it.
+type route struct {
+	method  string
+	pattern string
+	h       http.HandlerFunc
+}
+
+// Routes returns "METHOD /path" for every endpoint a fully-equipped vmallocd
+// can serve (sharded store, metrics enabled), in registration order. It is
+// the single source of truth the docs coverage test diffs docs/api.md
+// against — adding a route here without documenting it fails CI.
+func Routes() []string {
+	ss := struct {
+		API
+		shardStatser
+	}{}
+	rs := routes(ss, &Metrics{})
+	out := make([]string, len(rs))
+	for i, rt := range rs {
+		out[i] = rt.method + " " + rt.pattern
+	}
+	return out
+}
+
+// maxBatchServices caps one bulk admission request; larger batches gain
+// nothing (the journal group is already one fsync) and only grow tail
+// latency and response size.
+const maxBatchServices = 4096
+
+// routes builds the route table over s. GET /v1/shards is served only by
+// sharded stores and GET /metrics only when metrics are enabled; both are
+// still part of the documented surface (see Routes).
+func routes(s API, m *Metrics) []route {
+	rs := []route{
+		{"POST", "/v1/services", func(w http.ResponseWriter, r *http.Request) {
+			var req addRequest
+			if !decodeBody(w, r, &req) {
+				return
+			}
+			if req.True == nil {
+				httpError(w, http.StatusBadRequest, errors.New(`missing "true" service`))
+				return
+			}
+			est := req.True
+			if req.Est != nil {
+				est = req.Est
+			}
+			id, node, err := s.AddWithEstimate(*req.True, *est)
+			if err != nil {
+				if errors.Is(err, ErrRejected) {
+					httpError(w, http.StatusConflict, err)
+				} else {
+					mutationError(w, err)
+				}
+				return
+			}
+			writeJSON(w, http.StatusCreated, addResponse{ID: id, Node: node})
+		}},
+		{"POST", "/v1/services:batch", func(w http.ResponseWriter, r *http.Request) {
+			var req batchRequest
+			if !decodeBody(w, r, &req) {
+				return
+			}
+			if len(req.Services) == 0 {
+				httpError(w, http.StatusBadRequest, errors.New(`empty batch: "services" must hold at least one entry`))
+				return
+			}
+			if len(req.Services) > maxBatchServices {
+				httpError(w, http.StatusBadRequest,
+					fmt.Errorf("batch of %d services exceeds the limit of %d", len(req.Services), maxBatchServices))
+				return
+			}
+			results := make([]batchEntryResponse, len(req.Services))
+			specs := make([]AddSpec, 0, len(req.Services))
+			idx := make([]int, 0, len(req.Services))
+			for i, e := range req.Services {
+				if e.True == nil {
+					results[i] = batchEntryResponse{Error: `missing "true" service`, Status: http.StatusBadRequest}
+					continue
+				}
+				est := e.True
+				if e.Est != nil {
+					est = e.Est
+				}
+				specs = append(specs, AddSpec{True: *e.True, Est: *est})
+				idx = append(idx, i)
+			}
+			outs, err := s.AddBatch(specs)
+			if err != nil {
+				mutationError(w, err)
+				return
+			}
+			for k, o := range outs {
+				switch {
+				case o.Err == nil:
+					id, node := o.ID, o.Node
+					results[idx[k]] = batchEntryResponse{ID: &id, Node: &node}
+				case errors.Is(o.Err, ErrRejected):
+					results[idx[k]] = batchEntryResponse{Error: o.Err.Error(), Status: http.StatusConflict}
+				default:
+					results[idx[k]] = batchEntryResponse{Error: o.Err.Error(), Status: http.StatusBadRequest}
+				}
+			}
+			resp := batchResponse{Results: results}
+			for _, res := range results {
+				switch {
+				case res.ID != nil:
+					resp.Admitted++
+				case res.Status == http.StatusConflict:
+					resp.Rejected++
+				default:
+					resp.Invalid++
+				}
+			}
+			writeJSON(w, http.StatusOK, resp)
+		}},
+		{"DELETE", "/v1/services/{id}", func(w http.ResponseWriter, r *http.Request) {
+			id, ok := pathID(w, r)
+			if !ok {
+				return
+			}
+			removed, err := s.Remove(id)
+			if err != nil {
+				mutationError(w, err)
+				return
+			}
+			if !removed {
+				httpError(w, http.StatusNotFound, fmt.Errorf("no live service with id %d", id))
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]bool{"removed": true})
+		}},
+		{"PUT", "/v1/services/{id}/needs", func(w http.ResponseWriter, r *http.Request) {
+			id, ok := pathID(w, r)
+			if !ok {
+				return
+			}
+			var req needsRequest
+			if !decodeBody(w, r, &req) {
+				return
+			}
+			if err := s.UpdateNeeds(id, req.TrueElem, req.TrueAgg, req.EstElem, req.EstAgg); err != nil {
+				mutationError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]bool{"updated": true})
+		}},
+		{"PUT", "/v1/threshold", func(w http.ResponseWriter, r *http.Request) {
+			var req struct {
+				Threshold *float64 `json:"threshold"`
+			}
+			if !decodeBody(w, r, &req) {
+				return
+			}
+			if req.Threshold == nil {
+				httpError(w, http.StatusBadRequest, errors.New("threshold must be a number >= 0"))
+				return
+			}
+			if err := s.SetThreshold(*req.Threshold); err != nil {
+				mutationError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]float64{"threshold": *req.Threshold})
+		}},
+		{"POST", "/v1/reallocate", func(w http.ResponseWriter, r *http.Request) {
+			ce, err := s.Reallocate()
+			if err != nil {
+				mutationError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, epochResponse{
+				Solved: ce.Result.Solved, MinYield: ce.Result.MinYield,
+				Migrations: ce.Migrations, Services: len(ce.IDs),
+				IDs: ce.IDs, Placement: ce.Result.Placement,
+			})
+		}},
+		{"POST", "/v1/repair", func(w http.ResponseWriter, r *http.Request) {
+			req := struct {
+				Budget int `json:"budget"`
+			}{Budget: -1}
+			// The body is optional: absent (including a chunked request whose
+			// body turns out empty, where ContentLength is -1) selects the
+			// default unlimited budget.
+			if !decodeOptionalBody(w, r, &req) {
+				return
+			}
+			ce, err := s.Repair(req.Budget)
+			if err != nil {
+				mutationError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, epochResponse{
+				Solved: ce.Result.Solved, MinYield: ce.Result.MinYield,
+				Migrations: ce.Migrations, Services: len(ce.IDs),
+				IDs: ce.IDs, Placement: ce.Result.Placement,
+			})
+		}},
+		{"GET", "/v1/minyield", func(w http.ResponseWriter, r *http.Request) {
+			policy, err := parsePolicy(r.URL.Query().Get("policy"))
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			y, err := s.MinYield(policy)
+			if err != nil {
+				mutationError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]float64{"min_yield": y})
+		}},
+		{"GET", "/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, s.Stats())
+		}},
+	}
+	if ss, ok := s.(shardStatser); ok {
+		rs = append(rs, route{"GET", "/v1/shards", func(w http.ResponseWriter, r *http.Request) {
+			stats, err := ss.ShardStats()
+			if err != nil {
+				mutationError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, stats)
+		}})
+	}
+	rs = append(rs,
+		route{"GET", "/v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+			_, data, err := s.State()
+			if err != nil {
+				mutationError(w, err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write(data)
+		}},
+		route{"POST", "/v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+			seq, err := s.Checkpoint()
+			if err != nil {
+				mutationError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]uint64{"seq": seq})
+		}},
+	)
+	if m != nil {
+		rs = append(rs, route{"GET", "/metrics", m.serveText})
+	}
+	rs = append(rs, route{"GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	}})
+	return rs
+}
+
+// Handler returns the vmallocd HTTP/JSON API over a store, without metrics:
 //
 //	POST   /v1/services            admit a service            {"true":{...},"est":{...}}
+//	POST   /v1/services:batch      bulk admission             {"services":[{"true":{...}},...]}
 //	DELETE /v1/services/{id}       depart a service
 //	PUT    /v1/services/{id}/needs replace fluid needs        {"true_elem":[...],...}
 //	PUT    /v1/threshold           set mitigation threshold   {"threshold":0.3}
@@ -49,165 +306,29 @@ type shardStatser interface {
 //	POST   /v1/snapshot            force a checkpoint
 //	GET    /healthz                liveness
 //
+// NewHandler additionally serves GET /metrics and per-endpoint
+// instrumentation. docs/api.md is the full reference; a test keeps it in
+// lockstep with this table.
+//
 // Mutations are serialized through the store's commit pipeline and are
 // durable when the response arrives; reads are lock-free against published
 // state. Request bodies must be a single JSON value: trailing bytes after
 // the value are rejected with 400 rather than silently ignored.
-func Handler(s API) http.Handler {
+func Handler(s API) http.Handler { return NewHandler(s, nil) }
+
+// NewHandler returns the vmallocd HTTP/JSON API over a store. When m is
+// non-nil every endpoint is instrumented (request counts and latency
+// histograms by method, path pattern and status code) and GET /metrics
+// serves the Prometheus text exposition.
+func NewHandler(s API, m *Metrics) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/services", func(w http.ResponseWriter, r *http.Request) {
-		var req addRequest
-		if !decodeBody(w, r, &req) {
-			return
+	for _, rt := range routes(s, m) {
+		h := rt.h
+		if m != nil {
+			h = m.instrument(rt.method, rt.pattern, h)
 		}
-		if req.True == nil {
-			httpError(w, http.StatusBadRequest, errors.New(`missing "true" service`))
-			return
-		}
-		est := req.True
-		if req.Est != nil {
-			est = req.Est
-		}
-		id, node, err := s.AddWithEstimate(*req.True, *est)
-		if err != nil {
-			if errors.Is(err, ErrRejected) {
-				httpError(w, http.StatusConflict, err)
-			} else {
-				mutationError(w, err)
-			}
-			return
-		}
-		writeJSON(w, http.StatusCreated, addResponse{ID: id, Node: node})
-	})
-	mux.HandleFunc("DELETE /v1/services/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id, ok := pathID(w, r)
-		if !ok {
-			return
-		}
-		removed, err := s.Remove(id)
-		if err != nil {
-			mutationError(w, err)
-			return
-		}
-		if !removed {
-			httpError(w, http.StatusNotFound, fmt.Errorf("no live service with id %d", id))
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]bool{"removed": true})
-	})
-	mux.HandleFunc("PUT /v1/services/{id}/needs", func(w http.ResponseWriter, r *http.Request) {
-		id, ok := pathID(w, r)
-		if !ok {
-			return
-		}
-		var req needsRequest
-		if !decodeBody(w, r, &req) {
-			return
-		}
-		if err := s.UpdateNeeds(id, req.TrueElem, req.TrueAgg, req.EstElem, req.EstAgg); err != nil {
-			mutationError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]bool{"updated": true})
-	})
-	mux.HandleFunc("PUT /v1/threshold", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Threshold *float64 `json:"threshold"`
-		}
-		if !decodeBody(w, r, &req) {
-			return
-		}
-		if req.Threshold == nil {
-			httpError(w, http.StatusBadRequest, errors.New("threshold must be a number >= 0"))
-			return
-		}
-		if err := s.SetThreshold(*req.Threshold); err != nil {
-			mutationError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]float64{"threshold": *req.Threshold})
-	})
-	mux.HandleFunc("POST /v1/reallocate", func(w http.ResponseWriter, r *http.Request) {
-		ce, err := s.Reallocate()
-		if err != nil {
-			mutationError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, epochResponse{
-			Solved: ce.Result.Solved, MinYield: ce.Result.MinYield,
-			Migrations: ce.Migrations, Services: len(ce.IDs),
-			IDs: ce.IDs, Placement: ce.Result.Placement,
-		})
-	})
-	mux.HandleFunc("POST /v1/repair", func(w http.ResponseWriter, r *http.Request) {
-		req := struct {
-			Budget int `json:"budget"`
-		}{Budget: -1}
-		// The body is optional: absent (including a chunked request whose
-		// body turns out empty, where ContentLength is -1) selects the
-		// default unlimited budget.
-		if !decodeOptionalBody(w, r, &req) {
-			return
-		}
-		ce, err := s.Repair(req.Budget)
-		if err != nil {
-			mutationError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, epochResponse{
-			Solved: ce.Result.Solved, MinYield: ce.Result.MinYield,
-			Migrations: ce.Migrations, Services: len(ce.IDs),
-			IDs: ce.IDs, Placement: ce.Result.Placement,
-		})
-	})
-	mux.HandleFunc("GET /v1/minyield", func(w http.ResponseWriter, r *http.Request) {
-		policy, err := parsePolicy(r.URL.Query().Get("policy"))
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		y, err := s.MinYield(policy)
-		if err != nil {
-			mutationError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]float64{"min_yield": y})
-	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Stats())
-	})
-	if ss, ok := s.(shardStatser); ok {
-		mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, r *http.Request) {
-			stats, err := ss.ShardStats()
-			if err != nil {
-				mutationError(w, err)
-				return
-			}
-			writeJSON(w, http.StatusOK, stats)
-		})
+		mux.HandleFunc(rt.method+" "+rt.pattern, h)
 	}
-	mux.HandleFunc("GET /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
-		_, data, err := s.State()
-		if err != nil {
-			mutationError(w, err)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusOK)
-		w.Write(data)
-	})
-	mux.HandleFunc("POST /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
-		seq, err := s.Checkpoint()
-		if err != nil {
-			mutationError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]uint64{"seq": seq})
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		w.Write([]byte("ok\n"))
-	})
 	return mux
 }
 
@@ -219,6 +340,27 @@ type addRequest struct {
 type addResponse struct {
 	ID   int `json:"id"`
 	Node int `json:"node"`
+}
+
+type batchRequest struct {
+	Services []addRequest `json:"services"`
+}
+
+// batchEntryResponse reports one entry of a bulk admission: either an
+// assigned id and node, or the error and the HTTP status the same request
+// would have drawn as a single POST /v1/services.
+type batchEntryResponse struct {
+	ID     *int   `json:"id,omitempty"`
+	Node   *int   `json:"node,omitempty"`
+	Error  string `json:"error,omitempty"`
+	Status int    `json:"status,omitempty"`
+}
+
+type batchResponse struct {
+	Results  []batchEntryResponse `json:"results"`
+	Admitted int                  `json:"admitted"`
+	Rejected int                  `json:"rejected"`
+	Invalid  int                  `json:"invalid"`
 }
 
 type needsRequest struct {

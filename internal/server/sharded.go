@@ -130,6 +130,8 @@ type ShardedStore struct {
 	cluster      *vmalloc.ShardedCluster
 	js           []*journal.Journal
 	tickets      []*journal.Ticket
+	batches      []*journal.Batch        // per-shard bulk-admission record groups (AddBatch)
+	batching     bool                    // route hook events into batches instead of Enqueue
 	moveIn       map[int]*journal.Ticket // pending MOVE_IN tickets by service id
 	hookErr      error                   // first enqueue-ordering failure, surfaced at finish
 	enqueued     int                     // records enqueued by the current mutation
@@ -342,7 +344,21 @@ func (s *ShardedStore) onEvent(ev *vmalloc.ShardEvent) {
 	default:
 		return
 	}
-	// Enqueue encodes synchronously, so aliasing engine buffers is safe.
+	// Enqueue and Batch.Add both encode synchronously, so aliasing engine
+	// buffers is safe. During a bulk admission each shard's records
+	// accumulate in that shard's batch and commit as one group sharing a
+	// single fsync per shard.
+	if s.batching {
+		b := s.batches[ev.Shard]
+		if b == nil {
+			b = s.js[ev.Shard].NewBatch()
+			s.batches[ev.Shard] = b
+		}
+		if err := b.Add(rec); err != nil && s.hookErr == nil {
+			s.hookErr = err
+		}
+		return
+	}
 	t := s.js[ev.Shard].Enqueue(rec)
 	s.enqueued++
 	if rec.Op == journal.OpMoveIn {
@@ -416,32 +432,80 @@ func (s *ShardedStore) Add(svc vmalloc.Service) (id, node int, err error) {
 }
 
 // AddWithEstimate admits a service through the deterministic two-choice
-// shard router; the admission decision is durable on return.
+// shard router; the admission decision is durable on return. It is a batch
+// of one: the single-service path and POST /v1/services:batch share one
+// admission and commit code path (AddBatch).
 func (s *ShardedStore) AddWithEstimate(trueSvc, estSvc vmalloc.Service) (id, node int, err error) {
+	out, err := s.AddBatch([]AddSpec{{True: trueSvc, Est: estSvc}})
+	if err != nil {
+		return 0, -1, err
+	}
+	if out[0].Err != nil {
+		return 0, -1, out[0].Err
+	}
+	return out[0].ID, out[0].Node, nil
+}
+
+// AddBatch admits specs in order through the deterministic two-choice shard
+// router as one bulk operation. Admissions are grouped per placement domain:
+// each shard's records commit to its WAL as one batch sharing a single
+// group-commit fsync, and the call returns when every touched shard is
+// durable. Outcomes are per-entry — an invalid or rejected entry never
+// aborts the rest of the batch; the error return is reserved for whole-batch
+// failures (closed store, journal failure).
+func (s *ShardedStore) AddBatch(specs []AddSpec) ([]AddOutcome, error) {
 	if err := s.begin(); err != nil {
-		return 0, -1, err
+		return nil, err
 	}
-	id, ok, err := s.cluster.AddWithEstimate(trueSvc, estSvc)
-	if err != nil {
-		err = invalid(err)
+	if s.batches == nil {
+		s.batches = make([]*journal.Batch, len(s.js))
 	}
-	node = -1
-	if err == nil && ok {
-		node, _ = s.cluster.Node(id)
-		s.stats.Adds++
-	} else if err == nil {
-		s.stats.Rejected++
+	s.batching = true
+	entries := make([]vmalloc.BatchEntry, len(specs))
+	for i := range specs {
+		entries[i] = vmalloc.BatchEntry{True: specs[i].True, Est: specs[i].Est}
 	}
-	if ferr := s.finish(); err == nil && ferr != nil {
-		err = ferr
+	results := s.cluster.AddBatch(entries)
+	s.batching = false
+	out, admitted := convertBatchResults(results, &s.stats)
+	if admitted > 0 {
+		s.stats.Batches++
 	}
-	if err != nil {
-		return 0, -1, err
+	hookErr := s.hookErr
+	n := 0
+	tickets := make([]*journal.Ticket, 0, len(s.js))
+	for _, b := range s.batches {
+		if b == nil || b.Len() == 0 {
+			continue
+		}
+		n += b.Len()
+		tickets = append(tickets, b.Commit())
 	}
-	if !ok {
-		return 0, -1, ErrRejected
+	checkpoint := false
+	if n > 0 {
+		s.version.Add(1)
+		s.stats.Records += uint64(n)
+		s.recordsSince += n
+		if every := s.opts.snapshotEvery(); every > 0 && s.recordsSince >= every {
+			s.recordsSince = 0
+			checkpoint = true
+		}
 	}
-	return id, node, nil
+	s.mu.Unlock()
+	for _, t := range tickets {
+		if err := t.Wait(); err != nil {
+			return out, fmt.Errorf("server: journal append: %w", err)
+		}
+	}
+	if hookErr != nil {
+		return out, fmt.Errorf("server: journal append: %w", hookErr)
+	}
+	if checkpoint {
+		if _, err := s.Checkpoint(); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
 }
 
 // Remove departs a service; reports whether the id was live.
@@ -637,6 +701,23 @@ func (s *ShardedStore) Stats() Stats {
 	}
 	st.Shards = len(s.js)
 	return st
+}
+
+// JournalIOStats returns the cumulative write-path counters summed over the
+// per-shard WALs.
+func (s *ShardedStore) JournalIOStats() journal.IOStats {
+	var sum journal.IOStats
+	for _, j := range s.js {
+		st := j.IOStats()
+		sum.Records += st.Records
+		sum.Batches += st.Batches
+		sum.Fsyncs += st.Fsyncs
+		sum.Rotations += st.Rotations
+		for i := range sum.BatchSizes {
+			sum.BatchSizes[i] += st.BatchSizes[i]
+		}
+	}
+	return sum
 }
 
 func (s *ShardedStore) closeJournals() error {

@@ -74,6 +74,7 @@ type Stats struct {
 	Records      uint64  `json:"records"`
 	Snapshots    uint64  `json:"snapshots"`
 	Adds         uint64  `json:"adds"`
+	Batches      uint64  `json:"batches"`
 	Rejected     uint64  `json:"rejected"`
 	Removes      uint64  `json:"removes"`
 	NeedUpdates  uint64  `json:"need_updates"`
@@ -86,6 +87,22 @@ type Stats struct {
 	TruncatedBytes int `json:"truncated_bytes"`
 	// Shards is the placement-domain count (0 for an unsharded store).
 	Shards int `json:"shards,omitempty"`
+}
+
+// AddSpec is one service of a bulk admission: the true descriptor and the
+// scheduler-visible estimate.
+type AddSpec struct {
+	True, Est vmalloc.Service
+}
+
+// AddOutcome is the per-entry result of AddBatch. Err == nil means the entry
+// was admitted and ID/Node are valid; otherwise Err matches ErrRejected (no
+// node could host it) or ErrInvalid (structural validation failed) and Node
+// is -1.
+type AddOutcome struct {
+	ID   int
+	Node int
+	Err  error
 }
 
 // ErrClosed is returned by operations on a closed store.
@@ -114,6 +131,9 @@ type Store struct {
 	cluster      *vmalloc.Cluster
 	j            *journal.Journal
 	tickets      []*journal.Ticket // tickets enqueued by the hook during one mutation
+	batch        *journal.Batch    // bulk-admission record group (AddBatch)
+	batching     bool              // route hook events into batch instead of Enqueue
+	batchErr     error             // first batch encode failure, surfaced after commit
 	recordsSince int
 	closed       bool
 	stats        Stats
@@ -265,7 +285,15 @@ func (s *Store) onEvent(ev *vmalloc.ClusterEvent) {
 	default:
 		return
 	}
-	// Enqueue encodes synchronously, so aliasing engine buffers is safe.
+	// Enqueue and Batch.Add both encode synchronously, so aliasing engine
+	// buffers is safe. During a bulk admission the records accumulate in the
+	// batch and commit as one group sharing a single fsync.
+	if s.batching {
+		if err := s.batch.Add(rec); err != nil && s.batchErr == nil {
+			s.batchErr = err
+		}
+		return
+	}
 	s.tickets = append(s.tickets, s.j.Enqueue(rec))
 }
 
@@ -320,32 +348,95 @@ func (s *Store) Add(svc vmalloc.Service) (id, node int, err error) {
 }
 
 // AddWithEstimate admits a service whose scheduler-visible estimate differs
-// from its true needs. The admission decision is durable on return.
+// from its true needs. The admission decision is durable on return. It is a
+// batch of one: the single-service path and POST /v1/services:batch share
+// one admission and commit code path (AddBatch).
 func (s *Store) AddWithEstimate(trueSvc, estSvc vmalloc.Service) (id, node int, err error) {
+	out, err := s.AddBatch([]AddSpec{{True: trueSvc, Est: estSvc}})
+	if err != nil {
+		return 0, -1, err
+	}
+	if out[0].Err != nil {
+		return 0, -1, out[0].Err
+	}
+	return out[0].ID, out[0].Node, nil
+}
+
+// AddBatch admits specs in order as one bulk operation: every admission
+// routes through the same code path as a single Add (each one sees the
+// capacity left by the previous), but the journal records of the whole batch
+// commit as one group sharing a single fsync, and the call returns when the
+// group is durable. The outcome is per-entry — an invalid or rejected entry
+// never aborts the rest of the batch; the error return is reserved for
+// whole-batch failures (closed store, journal failure).
+func (s *Store) AddBatch(specs []AddSpec) ([]AddOutcome, error) {
 	if err := s.begin(); err != nil {
-		return 0, -1, err
+		return nil, err
 	}
-	id, ok, err := s.cluster.AddWithEstimate(trueSvc, estSvc)
-	if err != nil {
-		err = invalid(err) // the only Add error source is input validation
+	if s.batch == nil {
+		s.batch = s.j.NewBatch()
+	} else {
+		s.batch.Reset()
 	}
-	node = -1
-	if err == nil && ok {
-		node, _ = s.cluster.Node(id)
-		s.stats.Adds++
-	} else if err == nil {
-		s.stats.Rejected++
+	s.batching = true
+	s.batchErr = nil
+	entries := make([]vmalloc.BatchEntry, len(specs))
+	for i := range specs {
+		entries[i] = vmalloc.BatchEntry{True: specs[i].True, Est: specs[i].Est}
 	}
-	if ferr := s.finish(); err == nil && ferr != nil {
-		err = ferr
+	results := s.cluster.AddBatch(entries)
+	s.batching = false
+	out, admitted := convertBatchResults(results, &s.stats)
+	if admitted > 0 {
+		s.stats.Batches++
 	}
-	if err != nil {
-		return 0, -1, err
+	batchErr := s.batchErr
+	n := s.batch.Len()
+	ticket := s.batch.Commit()
+	checkpoint := false
+	if n > 0 {
+		s.version.Add(1)
+		s.stats.Records += uint64(n)
+		s.recordsSince += n
+		if every := s.opts.snapshotEvery(); every > 0 && s.recordsSince >= every {
+			s.recordsSince = 0
+			checkpoint = true
+		}
 	}
-	if !ok {
-		return 0, -1, ErrRejected
+	s.mu.Unlock()
+	if err := ticket.Wait(); err != nil {
+		return out, fmt.Errorf("server: journal append: %w", err)
 	}
-	return id, node, nil
+	if batchErr != nil {
+		return out, fmt.Errorf("server: journal append: %w", batchErr)
+	}
+	if checkpoint {
+		if _, err := s.Checkpoint(); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// convertBatchResults maps cluster batch results to the store's per-entry
+// outcomes (typed errors) and bumps the admission counters. Called with the
+// store lock held.
+func convertBatchResults(results []vmalloc.BatchResult, stats *Stats) (out []AddOutcome, admitted int) {
+	out = make([]AddOutcome, len(results))
+	for i, r := range results {
+		switch {
+		case r.Err != nil:
+			out[i] = AddOutcome{Node: -1, Err: invalid(r.Err)}
+		case !r.Admitted:
+			out[i] = AddOutcome{Node: -1, Err: ErrRejected}
+			stats.Rejected++
+		default:
+			out[i] = AddOutcome{ID: r.ID, Node: r.Node}
+			stats.Adds++
+			admitted++
+		}
+	}
+	return out, admitted
 }
 
 // Remove departs a service; reports whether the id was live.
@@ -490,6 +581,12 @@ func (s *Store) Checkpoint() (uint64, error) {
 	}
 	s.mu.Unlock()
 	return seq, nil
+}
+
+// JournalIOStats returns the WAL's cumulative write-path counters (records,
+// group-commit batches, fsyncs, rotations, batch-size histogram).
+func (s *Store) JournalIOStats() journal.IOStats {
+	return s.j.IOStats()
 }
 
 // Stats returns a point-in-time counter snapshot.

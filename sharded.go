@@ -184,6 +184,40 @@ func (c *ShardedCluster) AddWithEstimate(trueSvc, estSvc Service) (id int, ok bo
 	return id, ok, nil
 }
 
+// AddBatch admits entries in order through the deterministic two-choice
+// shard router, one routing decision per entry — each admission sees the
+// shard headroom left by the previous one, so the batch trajectory (ids,
+// shard choices, hook events) is bit-identical to len(entries) sequential
+// AddWithEstimate calls. Entries failing validation are reported per-entry
+// and skipped; they never abort the rest of the batch. The durable tier
+// exploits the grouped pass by journaling each shard's admissions as one
+// batch under a single group-commit fsync.
+func (c *ShardedCluster) AddBatch(entries []BatchEntry) []BatchResult {
+	out := make([]BatchResult, len(entries))
+	routed := make([]shard.AddEntry, 0, len(entries))
+	idx := make([]int, 0, len(entries))
+	for i := range entries {
+		if err := validateServiceVecs(c.r.Dim(), "true", entries[i].True); err != nil {
+			out[i] = BatchResult{Node: Unplaced, Err: err}
+			continue
+		}
+		if err := validateServiceVecs(c.r.Dim(), "estimated", entries[i].Est); err != nil {
+			out[i] = BatchResult{Node: Unplaced, Err: err}
+			continue
+		}
+		routed = append(routed, shard.AddEntry{TrueSvc: entries[i].True, EstSvc: entries[i].Est})
+		idx = append(idx, i)
+	}
+	for k, res := range c.r.AddBatch(routed, make([]shard.AddResult, 0, len(routed))) {
+		if res.OK {
+			out[idx[k]] = BatchResult{ID: res.ID, Node: res.Node, Admitted: true}
+		} else {
+			out[idx[k]] = BatchResult{Node: Unplaced}
+		}
+	}
+	return out
+}
+
 // Remove departs a live service in O(1). It reports whether id was live.
 func (c *ShardedCluster) Remove(id int) bool { return c.r.Remove(id) }
 
