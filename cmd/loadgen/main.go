@@ -34,6 +34,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,12 +55,14 @@ type config struct {
 	cpu      float64
 	need     float64
 	seed     int64
+	retries  int
 }
 
 // Counts are the request and per-service outcome totals of one pass.
 type Counts struct {
 	Requests   uint64 `json:"requests"`
 	HTTPErrors uint64 `json:"http_errors"`
+	Retries    uint64 `json:"retries"`
 	Dropped    uint64 `json:"dropped_arrivals"`
 	Services   uint64 `json:"services_offered"`
 	Admitted   uint64 `json:"admitted"`
@@ -118,6 +121,7 @@ func main() {
 	flag.Float64Var(&cfg.cpu, "cpu", 0.00002, "rigid requirement per service, per dimension")
 	flag.Float64Var(&cfg.need, "need", 0.00002, "fluid need per service, per dimension")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed")
+	flag.IntVar(&cfg.retries, "retries", 3, "max retries per request on transport errors and 502/503/504 (503 honors Retry-After)")
 	flag.Parse()
 
 	if _, err := fmt.Sscanf(*mix, "%d:%d:%d", &cfg.mixAdd, &cfg.mixRem, &cfg.mixUpd); err != nil {
@@ -324,6 +328,7 @@ func runPass(cfg config, mix string, dim int) Report {
 	for _, w := range workers {
 		total.Requests += w.counts.Requests
 		total.HTTPErrors += w.counts.HTTPErrors
+		total.Retries += w.counts.Retries
 		total.Services += w.counts.Services
 		total.Admitted += w.counts.Admitted
 		total.Rejected += w.counts.Rejected
@@ -473,42 +478,81 @@ func (w *worker) doUpdate() {
 }
 
 // post issues one JSON request and decodes the response into out (when
-// non-nil and the status is 2xx). It returns the status code, 0 on transport
+// non-nil and the status is 2xx). Transport errors and 502/503/504 retry up
+// to -retries times with capped exponential backoff — a 503 from an
+// unpromoted replica carries Retry-After, which is honored (capped) instead
+// of the default schedule. Returns the final status code, 0 on transport
 // error.
 func (w *worker) post(method, path string, body, out any) int {
-	var rd io.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
 			w.counts.HTTPErrors++
 			return 0
 		}
+	}
+	for attempt := 0; ; attempt++ {
+		code, retryAfter, fatal := w.once(method, path, data, out)
+		if fatal {
+			return code
+		}
+		transient := code == 0 || code == http.StatusBadGateway ||
+			code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout
+		if !transient || attempt >= w.cfg.retries {
+			if code == 0 {
+				w.counts.HTTPErrors++
+			}
+			return code
+		}
+		w.counts.Retries++
+		d := (50 * time.Millisecond) << uint(attempt)
+		if retryAfter > 0 {
+			d = retryAfter
+		}
+		if d > 2*time.Second {
+			d = 2 * time.Second
+		}
+		time.Sleep(d)
+	}
+}
+
+// once issues a single attempt. fatal means the request can never succeed
+// (build or decode failure, already counted); a plain transport error is
+// (0, 0, false) and retryable.
+func (w *worker) once(method, path string, data []byte, out any) (code int, retryAfter time.Duration, fatal bool) {
+	var rd io.Reader
+	if data != nil {
 		rd = bytes.NewReader(data)
 	}
 	req, err := http.NewRequest(method, w.cfg.addr+path, rd)
 	if err != nil {
 		w.counts.HTTPErrors++
-		return 0
+		return 0, 0, true
 	}
-	if body != nil {
+	if data != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := w.client.Do(req)
 	if err != nil {
-		w.counts.HTTPErrors++
-		return 0
+		return 0, 0, false
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	if out != nil && resp.StatusCode < 300 {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 			w.counts.HTTPErrors++
-			return 0
+			return 0, 0, true
 		}
 	}
-	return resp.StatusCode
+	return resp.StatusCode, retryAfter, false
 }
 
 func ptr[T any](v T) *T { return &v }

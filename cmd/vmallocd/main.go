@@ -40,6 +40,7 @@ import (
 
 	"vmalloc"
 	"vmalloc/internal/journal"
+	"vmalloc/internal/replica"
 	"vmalloc/internal/server"
 	"vmalloc/internal/workload"
 )
@@ -72,6 +73,9 @@ func main() {
 		segBytes  = flag.Int64("segment-bytes", 0, "WAL segment rotation size (0 = 8 MiB)")
 		fsync     = flag.String("fsync", "batch", "durability mode: batch (group commit) or none")
 		noMetrics = flag.Bool("no-metrics", false, "disable GET /metrics and per-endpoint instrumentation")
+		follow    = flag.String("follow", "", "follow the leader vmallocd at this base URL: serve a read-only replica until POST /v1/promote")
+		poll      = flag.Duration("poll", 0, "replication pull interval once caught up (with -follow; 0 = 200ms)")
+		readyLag  = flag.Int64("ready-lag", 0, "max per-shard replication lag in records before GET /readyz fails (with -follow; 0 = 4096, negative disables)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -159,7 +163,31 @@ func main() {
 	}
 
 	var s store
-	if manifest != nil || (!recovered && *shards > 0) {
+	if *follow != "" {
+		// A follower's platform comes from the leader's manifest; every
+		// first-boot platform flag is a conflict.
+		var conflicts []string
+		for _, name := range []string{"nodes", "hosts", "state-in", "threshold", "cov", "shards"} {
+			if set[name] {
+				conflicts = append(conflicts, "-"+name)
+			}
+		}
+		if len(conflicts) > 0 {
+			fatal(fmt.Errorf("-follow replicates the leader's platform; it conflicts with %s", strings.Join(conflicts, ", ")))
+		}
+		f, err := replica.Open(context.Background(), replica.Options{
+			Leader:   *follow,
+			Dir:      *dir,
+			Poll:     *poll,
+			ReadyLag: *readyLag,
+			Server:   opts,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		s = replica.NewSwitch(f)
+		log.Printf("vmallocd: following %s (read-only until POST /v1/promote)", *follow)
+	} else if manifest != nil || (!recovered && *shards > 0) {
 		ss, err := server.OpenSharded(*dir, nodes, opts)
 		if err != nil {
 			fatal(err)

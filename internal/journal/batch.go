@@ -82,6 +82,7 @@ func (b *Batch) Commit() *Ticket {
 			payload[i] = byte(j.seq >> (8 * i))
 		}
 		j.pend.buf = appendFrame(j.pend.buf, payload)
+		j.advanceChain(payload)
 	}
 	j.pend.recs += len(b.ends)
 	j.pend.waiters = append(j.pend.waiters, ch)

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
+
+	"vmalloc/internal/faultfs"
 )
 
 // FsyncMode selects the durability of Append.
@@ -39,6 +42,29 @@ type Options struct {
 	// recovery; a snapshot failing validation is skipped in favor of the
 	// next older one. The journal itself treats snapshot state as opaque.
 	ValidateSnapshot func([]byte) error
+	// FS is the filesystem the journal runs on; nil selects the real OS.
+	// Tests thread a faultfs.Injector to prove the durability contract
+	// under injected write/fsync/rename faults.
+	FS faultfs.FS
+	// ChainInterval is how often, in records, the rolling integrity chain
+	// is checkpointed (see chain.go); <= 0 selects 512. The interval is
+	// sticky per directory: an existing chain.json's interval wins, so
+	// replicas of one history always checkpoint at the same seqs.
+	ChainInterval int
+}
+
+func (o Options) fs() faultfs.FS {
+	if o.FS == nil {
+		return faultfs.OS{}
+	}
+	return o.FS
+}
+
+func (o Options) chainInterval() uint64 {
+	if o.ChainInterval <= 0 {
+		return 512
+	}
+	return uint64(o.ChainInterval)
 }
 
 func (o Options) segmentBytes() int64 {
@@ -73,6 +99,10 @@ type RecoveryInfo struct {
 	// LastSeq is the sequence number of the last durable record (equal to
 	// SnapshotSeq when the log held nothing newer).
 	LastSeq uint64
+	// VerifiedChain counts the chain checkpoints recomputed and matched
+	// during replay; 0 for a directory that predates the chain or whose
+	// checkpoints all sit at or below the snapshot.
+	VerifiedChain int
 }
 
 // Recovery is the first phase of opening a journal: the snapshot has been
@@ -80,10 +110,19 @@ type RecoveryInfo struct {
 // replayed exactly once before the journal is opened for appending.
 type Recovery struct {
 	opts     Options
+	fs       faultfs.FS
 	info     RecoveryInfo
 	segs     []uint64
 	replayed bool
 	lock     *os.File // exclusive directory lock; transferred to the Journal
+
+	// Integrity-chain state: the manifest from chain.json (nil for a
+	// legacy directory), the interval in force, the chain head after
+	// replay, and the checkpoint ledger carried into the journal.
+	manifest *chainManifest
+	interval uint64
+	head     ChainPoint
+	entries  []ChainPoint
 }
 
 // Close releases the directory lock when the recovery is abandoned before
@@ -102,7 +141,7 @@ func (rc *Recovery) Close() error {
 // rather than bootstrap a fresh one. A missing directory reports false; the
 // check does not take the directory lock.
 func DirHasJournal(dir string) bool {
-	segs, snaps, err := listDir(dir)
+	segs, snaps, err := listDir(faultfs.OS{}, dir)
 	return err == nil && (len(segs) > 0 || len(snaps) > 0)
 }
 
@@ -113,23 +152,33 @@ func Recover(opts Options) (*Recovery, error) {
 	if opts.Dir == "" {
 		return nil, errors.New("journal: no directory")
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fsys := opts.fs()
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	lock, err := lockDir(opts.Dir)
 	if err != nil {
 		return nil, err
 	}
-	segs, snaps, err := listDir(opts.Dir)
+	segs, snaps, err := listDir(fsys, opts.Dir)
 	if err != nil {
 		if lock != nil {
 			lock.Close()
 		}
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	rc := &Recovery{opts: opts, segs: segs, lock: lock}
+	rc := &Recovery{opts: opts, fs: fsys, segs: segs, lock: lock}
+	if rc.manifest, err = loadChain(fsys, opts.Dir); err != nil {
+		rc.Close()
+		return nil, err
+	}
+	rc.interval = opts.chainInterval()
+	if rc.manifest != nil {
+		rc.interval = rc.manifest.Interval
+		rc.entries = rc.manifest.Entries
+	}
 	for i := len(snaps) - 1; i >= 0; i-- {
-		data, err := os.ReadFile(snapshotPath(opts.Dir, snaps[i]))
+		data, err := fsys.ReadFile(snapshotPath(opts.Dir, snaps[i]))
 		if err == nil && opts.ValidateSnapshot != nil {
 			err = opts.ValidateSnapshot(data)
 		}
@@ -146,6 +195,23 @@ func Recover(opts Options) (*Recovery, error) {
 		return nil, fmt.Errorf("journal: all %d snapshots in %s are unreadable", rc.info.SkippedSnapshots, opts.Dir)
 	}
 	rc.info.LastSeq = rc.info.SnapshotSeq
+	// Seed the chain at the snapshot: records it covers are not replayed,
+	// so their chain comes from the persisted base. chain.json is written
+	// before its snapshot is renamed into place, so a selected snapshot
+	// always has a base — except in a legacy directory (no chain.json),
+	// which seeds zero and starts checkpointing from here on.
+	rc.head = ChainPoint{Seq: rc.info.SnapshotSeq}
+	if rc.manifest != nil && rc.info.SnapshotSeq > 0 {
+		base, ok := findPoint(rc.manifest.Bases, rc.info.SnapshotSeq)
+		if !ok {
+			base, ok = findPoint(rc.manifest.Entries, rc.info.SnapshotSeq)
+		}
+		if !ok {
+			rc.Close()
+			return nil, fmt.Errorf("journal: chain.json has no point for snapshot seq %d", rc.info.SnapshotSeq)
+		}
+		rc.head = base
+	}
 	return rc, nil
 }
 
@@ -159,6 +225,12 @@ func (rc *Recovery) Info() RecoveryInfo { return rc.info }
 // the last segment and not delivered; any other framing or continuity damage
 // is an error, as is a non-nil error from fn. Replay must be called exactly
 // once before Journal.
+//
+// Replay also recomputes the integrity chain from the snapshot's base and
+// verifies every persisted checkpoint it crosses: a record whose bytes were
+// altered after commit — even with its frame CRC recomputed to match —
+// produces a chain mismatch and fails recovery, as does a checkpoint
+// claiming a seq the log no longer reaches (durable records removed).
 func (rc *Recovery) Replay(fn func(*Record) error) error {
 	if rc.replayed {
 		return errors.New("journal: Replay called twice")
@@ -166,6 +238,16 @@ func (rc *Recovery) Replay(fn func(*Record) error) error {
 	rc.replayed = true
 	snapSeq := rc.info.SnapshotSeq
 	prevSeq := snapSeq // last sequence number seen (or covered by snapshot)
+	// Checkpoints above the snapshot are verification targets; interval
+	// crossings beyond the last known entry extend the ledger.
+	var checks []ChainPoint
+	if rc.manifest != nil {
+		checks = mergePoints(rc.manifest.Entries, rc.manifest.Bases, snapSeq)
+	}
+	lastEntry := uint64(0)
+	if n := len(rc.entries); n > 0 {
+		lastEntry = rc.entries[n-1].Seq
+	}
 	for i, base := range rc.segs {
 		last := i == len(rc.segs)-1
 		// Skip segments entirely covered by the snapshot: segment i holds
@@ -174,7 +256,7 @@ func (rc *Recovery) Replay(fn func(*Record) error) error {
 			continue
 		}
 		path := segmentPath(rc.opts.Dir, base)
-		data, err := os.ReadFile(path)
+		data, err := rc.fs.ReadFile(path)
 		if err != nil {
 			return fmt.Errorf("journal: %w", err)
 		}
@@ -195,6 +277,17 @@ func (rc *Recovery) Replay(fn func(*Record) error) error {
 				return fmt.Errorf("journal: %s: gap: record seq %d after %d", path, rec.Seq, prevSeq)
 			}
 			prevSeq = rec.Seq
+			rc.head = ChainPoint{Seq: rec.Seq, Hash: chainNext(rc.head.Hash, payload)}
+			for len(checks) > 0 && checks[0].Seq == rec.Seq {
+				if checks[0].Hash != rc.head.Hash {
+					return fmt.Errorf("journal: %s: chain mismatch at seq %d: log bytes do not match the checkpoint ledger (tampered or diverged)", path, rec.Seq)
+				}
+				rc.info.VerifiedChain++
+				checks = checks[1:]
+			}
+			if rec.Seq%rc.interval == 0 && rec.Seq > lastEntry {
+				rc.entries = append(rc.entries, rc.head)
+			}
 			rc.info.Replayed++
 			if fn != nil {
 				return fn(rec)
@@ -208,9 +301,17 @@ func (rc *Recovery) Replay(fn func(*Record) error) error {
 			if !last {
 				return fmt.Errorf("journal: %s: corrupt record at offset %d (not the last segment)", path, valid)
 			}
+			// A real torn tail (crash mid-append) holds only records that
+			// were never barrier-durable, and those can never reach a
+			// persisted checkpoint. A tail that stops short of one means
+			// the file bytes are lying — a torn read or tampering — and
+			// truncating would destroy durable records, so refuse.
+			if len(checks) > 0 {
+				return fmt.Errorf("journal: %s: tail ends at offset %d before checkpoint seq %d: refusing to truncate durable records (torn read or tampering)", path, valid, checks[0].Seq)
+			}
 			// Torn tail from a crash mid-append: drop it.
 			rc.info.TruncatedBytes = len(data) - valid
-			if err := os.Truncate(path, int64(valid)); err != nil {
+			if err := rc.fs.Truncate(path, int64(valid)); err != nil {
 				return fmt.Errorf("journal: truncating torn tail: %w", err)
 			}
 		}
@@ -218,16 +319,53 @@ func (rc *Recovery) Replay(fn func(*Record) error) error {
 			return fmt.Errorf("journal: %s: empty non-final segment", path)
 		}
 	}
+	if len(checks) > 0 {
+		// chain.json only records checkpoints for barrier-durable records,
+		// so a leftover target means durable records are gone — a torn tail
+		// never legitimately reaches them.
+		return fmt.Errorf("journal: checkpoint ledger covers seq %d but the log ends at %d: durable records are missing", checks[0].Seq, prevSeq)
+	}
 	rc.info.LastSeq = prevSeq
 	return nil
 }
 
+// mergePoints merges two seq-sorted checkpoint lists into the verification
+// queue: every point above floor, seq-sorted, duplicates collapsed only when
+// identical (a base and an entry at the same seq must agree; keeping both
+// would double-verify, keeping a mismatched pair must fail, so both are kept
+// and the replay check compares each).
+func mergePoints(a, b []ChainPoint, floor uint64) []ChainPoint {
+	out := make([]ChainPoint, 0, len(a)+len(b))
+	i, k := 0, 0
+	for i < len(a) || k < len(b) {
+		var p ChainPoint
+		switch {
+		case i == len(a):
+			p, k = b[k], k+1
+		case k == len(b):
+			p, i = a[i], i+1
+		case a[i].Seq <= b[k].Seq:
+			p, i = a[i], i+1
+		default:
+			p, k = b[k], k+1
+		}
+		if p.Seq > floor {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // pending is the enqueue-side state handed to the committer in one batch.
+// lastSeq/lastChain are the chain head as of the batch's final record, so the
+// committer can publish the committed head without hashing anything itself.
 type pending struct {
-	buf     []byte
-	waiters []chan error
-	recs    int
-	barrier bool
+	buf       []byte
+	waiters   []chan error
+	recs      int
+	barrier   bool
+	lastSeq   uint64
+	lastChain [32]byte
 }
 
 // Ticket is a pending durable append; Wait blocks until the record's commit
@@ -242,6 +380,7 @@ func (t *Ticket) Wait() error { return <-t.ch }
 // enqueued records into a single write+fsync (group commit).
 type Journal struct {
 	opts Options
+	fs   faultfs.FS
 
 	mu         sync.Mutex
 	seq        uint64 // last assigned sequence number
@@ -250,21 +389,31 @@ type Journal struct {
 	payloadBuf []byte
 	failed     error
 
+	// Integrity chain (under mu): the rolling hash at seq, the interval
+	// checkpoint ledger, and the checkpoint spacing in force.
+	chain    ChainPoint
+	entries  []ChainPoint
+	interval uint64
+
 	kick chan struct{}
 	quit chan struct{}
 	done chan struct{}
 
-	// Committer-owned state.
-	file         *os.File
-	fileBase     uint64
-	fileSize     int64
-	committedSeq uint64
+	// Committer-owned file state; committedSeq/committedHead are published
+	// for lock-free readers (replication streams ship only committed data).
+	file          faultfs.File
+	fileBase      uint64
+	fileSize      int64
+	committedSeq  atomic.Uint64
+	committedHead atomic.Pointer[ChainPoint]
 
 	lock *os.File // exclusive directory lock, released at Close
 
 	io ioCounters // write-path instrumentation (see IOStats)
 
-	snapMu sync.Mutex // serializes WriteSnapshot
+	snapMu         sync.Mutex   // serializes WriteSnapshot
+	bases          []ChainPoint // snapshot seed points (under snapMu)
+	persistedEntry uint64       // newest ledger entry seq written to chain.json (under snapMu)
 }
 
 // Journal finishes opening: it positions the append point after the last
@@ -275,14 +424,23 @@ func (rc *Recovery) Journal() (*Journal, error) {
 		return nil, errors.New("journal: Journal before Replay")
 	}
 	j := &Journal{
-		opts:         rc.opts,
-		seq:          rc.info.LastSeq,
-		committedSeq: rc.info.LastSeq,
-		kick:         make(chan struct{}, 1),
-		quit:         make(chan struct{}),
-		done:         make(chan struct{}),
-		lock:         rc.lock,
+		opts:     rc.opts,
+		fs:       rc.fs,
+		seq:      rc.info.LastSeq,
+		chain:    rc.head,
+		entries:  rc.entries,
+		interval: rc.interval,
+		kick:     make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		lock:     rc.lock,
 	}
+	if rc.manifest != nil {
+		j.bases = rc.manifest.Bases
+	}
+	j.committedSeq.Store(rc.info.LastSeq)
+	head := rc.head
+	j.committedHead.Store(&head)
 	rc.lock = nil // the journal now owns the directory lock
 	fail := func(err error) (*Journal, error) {
 		if j.lock != nil {
@@ -292,7 +450,7 @@ func (rc *Recovery) Journal() (*Journal, error) {
 	}
 	if n := len(rc.segs); n > 0 {
 		base := rc.segs[n-1]
-		f, err := os.OpenFile(segmentPath(rc.opts.Dir, base), os.O_WRONLY, 0)
+		f, err := j.fs.OpenFile(segmentPath(rc.opts.Dir, base), os.O_WRONLY, 0)
 		if err != nil {
 			return fail(fmt.Errorf("journal: %w", err))
 		}
@@ -334,6 +492,57 @@ func (j *Journal) LastSeq() uint64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.seq
+}
+
+// ChainHead returns the integrity chain at the last enqueued record. Callers
+// that pair state with its chain point capture both under their own state
+// lock, exactly as with LastSeq.
+func (j *Journal) ChainHead() ChainPoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.chain
+}
+
+// CommittedSeq returns the sequence number of the last durably committed
+// record: everything at or below it is fsynced (or handed to the OS under
+// FsyncNone) and safe to stream to a replica.
+func (j *Journal) CommittedSeq() uint64 { return j.committedSeq.Load() }
+
+// CommittedHead returns the integrity chain at CommittedSeq — the acked
+// high-water mark a promotion check compares against.
+func (j *Journal) CommittedHead() ChainPoint { return *j.committedHead.Load() }
+
+// Interval returns the checkpoint spacing in force for this directory.
+func (j *Journal) Interval() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.interval
+}
+
+// Entries returns the committed checkpoint ledger: the chain at every
+// interval multiple up to CommittedSeq. Replicas of the same history return
+// pointwise-equal ledgers over their common range (see CompareChains).
+func (j *Journal) Entries() []ChainPoint {
+	committed := j.committedSeq.Load()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for n < len(j.entries) && j.entries[n].Seq <= committed {
+		n++
+	}
+	out := make([]ChainPoint, n)
+	copy(out, j.entries[:n])
+	return out
+}
+
+// advanceChain extends the integrity chain over one just-assigned payload.
+// Called under mu with j.seq already advanced and the seq prefix patched in.
+func (j *Journal) advanceChain(payload []byte) {
+	j.chain = ChainPoint{Seq: j.seq, Hash: chainNext(j.chain.Hash, payload)}
+	if j.seq%j.interval == 0 {
+		j.entries = append(j.entries, j.chain)
+	}
+	j.pend.lastSeq, j.pend.lastChain = j.seq, j.chain.Hash
 }
 
 // Err returns the sticky write failure, if any. A failed journal rejects all
@@ -379,6 +588,7 @@ func (j *Journal) Enqueue(r *Record) *Ticket {
 		j.payloadBuf[i] = byte(j.seq >> (8 * i))
 	}
 	j.pend.buf = appendFrame(j.pend.buf, j.payloadBuf)
+	j.advanceChain(j.payloadBuf)
 	j.pend.waiters = append(j.pend.waiters, ch)
 	j.pend.recs++
 	j.mu.Unlock()
@@ -504,7 +714,7 @@ func (j *Journal) flush() {
 		ch <- err
 	}
 	batch.waiters = batch.waiters[:0]
-	batch.recs, batch.barrier = 0, false
+	batch.recs, batch.barrier, batch.lastSeq = 0, false, 0
 	j.spare = batch
 }
 
@@ -530,7 +740,11 @@ func (j *Journal) commit(b *pending) error {
 		}
 	}
 	j.io.noteBatch(b.recs, synced)
-	j.committedSeq += uint64(b.recs)
+	if b.recs > 0 {
+		j.committedSeq.Store(b.lastSeq)
+		head := ChainPoint{Seq: b.lastSeq, Hash: b.lastChain}
+		j.committedHead.Store(&head)
+	}
 	return nil
 }
 
@@ -545,15 +759,15 @@ func (j *Journal) rotate() error {
 	}
 	j.file = nil
 	j.io.rotations.Add(1)
-	return j.openSegment(j.committedSeq + 1)
+	return j.openSegment(j.committedSeq.Load() + 1)
 }
 
 func (j *Journal) openSegment(firstSeq uint64) error {
-	f, err := os.OpenFile(segmentPath(j.opts.Dir, firstSeq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := j.fs.OpenFile(segmentPath(j.opts.Dir, firstSeq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	if err := syncDir(j.opts.Dir); err != nil {
+	if err := syncDir(j.fs, j.opts.Dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -562,52 +776,130 @@ func (j *Journal) openSegment(firstSeq uint64) error {
 }
 
 // WriteSnapshot durably records state as covering every record with sequence
-// number <= seq, then applies the retention policy: old snapshots beyond
+// number <= at.Seq, then applies the retention policy: old snapshots beyond
 // KeepSnapshots are deleted, along with every segment entirely below the
-// oldest kept snapshot. Safe to call concurrently with appends; concurrent
+// oldest kept snapshot. The chain point pairs the state with its integrity
+// hash — callers capture it with ChainHead under the same lock that captured
+// the state. The checkpoint ledger (chain.json) is written before the
+// snapshot is renamed into place, so a snapshot recovery can select always
+// has its chain base. Safe to call concurrently with appends; concurrent
 // WriteSnapshot calls serialize.
-func (j *Journal) WriteSnapshot(seq uint64, state []byte) error {
+func (j *Journal) WriteSnapshot(at ChainPoint, state []byte) error {
 	j.snapMu.Lock()
 	defer j.snapMu.Unlock()
 	// Make sure every record the snapshot claims to cover is durable.
 	if err := j.Barrier().Wait(); err != nil {
 		return err
 	}
-	path := snapshotPath(j.opts.Dir, seq)
+	committed := j.committedSeq.Load()
+	if at.Seq > committed {
+		return fmt.Errorf("journal: snapshot at seq %d beyond committed %d", at.Seq, committed)
+	}
+	// Persist the ledger first: only checkpoints for barrier-durable
+	// records, plus the new base.
+	j.mu.Lock()
+	entries := make([]ChainPoint, 0, len(j.entries))
+	for _, e := range j.entries {
+		if e.Seq <= committed {
+			entries = append(entries, e)
+		}
+	}
+	interval := j.interval
+	j.mu.Unlock()
+	bases := addPoint(j.bases, at)
+	if err := writeChain(j.fs, j.opts.Dir, &chainManifest{Interval: interval, Entries: entries, Bases: bases}); err != nil {
+		return err
+	}
+	j.bases = bases
+	path := snapshotPath(j.opts.Dir, at.Seq)
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := j.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
 	if _, err := f.Write(state); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		j.fs.Remove(tmp)
 		return fmt.Errorf("journal: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		j.fs.Remove(tmp)
 		return fmt.Errorf("journal: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		j.fs.Remove(tmp)
 		return fmt.Errorf("journal: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := j.fs.Rename(tmp, path); err != nil {
+		j.fs.Remove(tmp)
 		return fmt.Errorf("journal: %w", err)
 	}
-	if err := syncDir(j.opts.Dir); err != nil {
+	if err := syncDir(j.fs, j.opts.Dir); err != nil {
 		return err
 	}
 	return j.prune()
 }
 
+// PersistChain durably rewrites the checkpoint ledger (chain.json) with
+// every chain entry covering committed records, without cutting a snapshot.
+// A replication follower calls it as it applies streamed batches: snapshot
+// cadence stays the leader's job, but the follower's persisted ledger keeps
+// pace with its WAL — so recovery (and therefore promotion) re-verifies the
+// whole replicated history and refuses a tampered or truncated log. No-op
+// when the persisted ledger is already current.
+func (j *Journal) PersistChain() error {
+	j.snapMu.Lock()
+	defer j.snapMu.Unlock()
+	committed := j.committedSeq.Load()
+	j.mu.Lock()
+	entries := make([]ChainPoint, 0, len(j.entries))
+	for _, e := range j.entries {
+		if e.Seq <= committed {
+			entries = append(entries, e)
+		}
+	}
+	interval := j.interval
+	j.mu.Unlock()
+	if n := len(entries); n == 0 || entries[n-1].Seq <= j.persistedEntry {
+		return nil
+	}
+	if err := writeChain(j.fs, j.opts.Dir, &chainManifest{Interval: interval, Entries: entries, Bases: j.bases}); err != nil {
+		return err
+	}
+	j.persistedEntry = entries[len(entries)-1].Seq
+	return nil
+}
+
+// addPoint inserts p into a seq-sorted list, replacing an existing point at
+// the same seq (a re-checkpoint at an unchanged seq is idempotent).
+func addPoint(pts []ChainPoint, p ChainPoint) []ChainPoint {
+	out := make([]ChainPoint, 0, len(pts)+1)
+	inserted := false
+	for _, q := range pts {
+		if q.Seq == p.Seq {
+			continue
+		}
+		if !inserted && q.Seq > p.Seq {
+			out = append(out, p)
+			inserted = true
+		}
+		out = append(out, q)
+	}
+	if !inserted {
+		out = append(out, p)
+	}
+	return out
+}
+
 // prune deletes snapshots beyond the retention count and segments entirely
-// covered by the oldest kept snapshot. Best-effort: a crash between snapshot
-// and prune just leaves extra files for the next prune.
+// covered by the oldest kept snapshot, then drops ledger points below the
+// oldest kept snapshot (the rolling chain makes recent checkpoints
+// sufficient: divergence anywhere in history changes every later hash).
+// Best-effort: a crash between snapshot and prune just leaves extra files
+// for the next prune. Called under snapMu.
 func (j *Journal) prune() error {
-	segs, snaps, err := listDir(j.opts.Dir)
+	segs, snaps, err := listDir(j.fs, j.opts.Dir)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
@@ -616,7 +908,7 @@ func (j *Journal) prune() error {
 		keep = len(snaps)
 	}
 	for _, seq := range snaps[:len(snaps)-keep] {
-		if err := os.Remove(snapshotPath(j.opts.Dir, seq)); err != nil && !os.IsNotExist(err) {
+		if err := j.fs.Remove(snapshotPath(j.opts.Dir, seq)); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("journal: %w", err)
 		}
 	}
@@ -628,17 +920,45 @@ func (j *Journal) prune() error {
 	// whole range is <= pruneSeq. The last (active) segment always stays.
 	for i := 0; i+1 < len(segs); i++ {
 		if segs[i+1] <= pruneSeq+1 {
-			if err := os.Remove(segmentPath(j.opts.Dir, segs[i])); err != nil && !os.IsNotExist(err) {
+			if err := j.fs.Remove(segmentPath(j.opts.Dir, segs[i])); err != nil && !os.IsNotExist(err) {
 				return fmt.Errorf("journal: %w", err)
 			}
+		}
+	}
+	// Trim the ledger to what the retained log can still verify or a
+	// replica could still compare.
+	cut := func(pts []ChainPoint) ([]ChainPoint, bool) {
+		i := 0
+		for i < len(pts) && pts[i].Seq < pruneSeq {
+			i++
+		}
+		return pts[i:], i > 0
+	}
+	j.mu.Lock()
+	entries, dropped := cut(j.entries)
+	j.entries = entries
+	entriesCopy := make([]ChainPoint, len(entries))
+	copy(entriesCopy, entries)
+	committed := j.committedSeq.Load()
+	n := 0
+	for n < len(entriesCopy) && entriesCopy[n].Seq <= committed {
+		n++
+	}
+	interval := j.interval
+	j.mu.Unlock()
+	bases, droppedBases := cut(j.bases)
+	if dropped || droppedBases {
+		j.bases = bases
+		if err := writeChain(j.fs, j.opts.Dir, &chainManifest{Interval: interval, Entries: entriesCopy[:n], Bases: bases}); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
 // syncDir fsyncs a directory so entry creation/rename/truncation is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys faultfs.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}

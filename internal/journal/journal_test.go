@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"vmalloc/internal/core"
+	"vmalloc/internal/faultfs"
 	"vmalloc/internal/vec"
 )
 
@@ -175,7 +176,7 @@ func TestSegmentRotation(t *testing.T) {
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, _, err := listDir(opts.Dir)
+	segs, _, err := listDir(faultfs.OS{}, opts.Dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestSnapshotCompactionAndFallback(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := j.WriteSnapshot(j.LastSeq(), []byte(`{"at":20}`)); err != nil {
+	if err := j.WriteSnapshot(j.ChainHead(), []byte(`{"at":20}`)); err != nil {
 		t.Fatalf("WriteSnapshot: %v", err)
 	}
 	for _, r := range testRecords(10) {
@@ -210,7 +211,7 @@ func TestSnapshotCompactionAndFallback(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := j.WriteSnapshot(j.LastSeq(), []byte(`{"at":30}`)); err != nil {
+	if err := j.WriteSnapshot(j.ChainHead(), []byte(`{"at":30}`)); err != nil {
 		t.Fatalf("WriteSnapshot: %v", err)
 	}
 	for _, r := range testRecords(5) {
@@ -222,7 +223,7 @@ func TestSnapshotCompactionAndFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	segs, snaps, err := listDir(opts.Dir)
+	segs, snaps, err := listDir(faultfs.OS{}, opts.Dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestTornTailTruncated(t *testing.T) {
 			if err := j.Close(); err != nil {
 				t.Fatal(err)
 			}
-			segs, _, err := listDir(opts.Dir)
+			segs, _, err := listDir(faultfs.OS{}, opts.Dir)
 			if err != nil || len(segs) != 1 {
 				t.Fatalf("segments: %v %v", segs, err)
 			}
@@ -337,7 +338,7 @@ func TestCorruptMiddleSegmentIsError(t *testing.T) {
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, _, err := listDir(opts.Dir)
+	segs, _, err := listDir(faultfs.OS{}, opts.Dir)
 	if err != nil || len(segs) < 3 {
 		t.Fatalf("need >= 3 segments, got %v (%v)", segs, err)
 	}
@@ -387,7 +388,7 @@ func TestSnapshotOnlyDirectory(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := j.WriteSnapshot(j.LastSeq(), []byte(`{"s":8}`)); err != nil {
+	if err := j.WriteSnapshot(j.ChainHead(), []byte(`{"s":8}`)); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Close(); err != nil {

@@ -3,11 +3,12 @@ package journal
 import (
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+
+	"vmalloc/internal/faultfs"
 )
 
 // Each record is framed as
@@ -108,8 +109,8 @@ func parseSeq(name, prefix, suffix string) (uint64, bool) {
 
 // listDir returns the segment base sequences and snapshot sequences present
 // in dir, each sorted ascending.
-func listDir(dir string) (segs, snaps []uint64, err error) {
-	entries, err := os.ReadDir(dir)
+func listDir(fsys faultfs.FS, dir string) (segs, snaps []uint64, err error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,252 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"vmalloc/internal/faultfs"
+)
+
+// walBytes concatenates every retained segment in log order. Two journals
+// holding the same record range produce equal concatenations regardless of
+// where their rotations fell.
+func walBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	segs, _, err := listDir(faultfs.OS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []byte
+	for _, base := range segs {
+		data, err := os.ReadFile(segmentPath(dir, base))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, data...)
+	}
+	return all
+}
+
+// streamAll pumps ReadEncoded→AppendFrames until the follower reaches the
+// leader's committed seq, with a small byte budget to force many batches.
+func streamAll(t *testing.T, leader, follower *Journal) {
+	t.Helper()
+	for {
+		cursor := follower.LastSeq()
+		if cursor >= leader.CommittedSeq() {
+			return
+		}
+		data, first, last, err := leader.ReadEncoded(cursor, 512)
+		if err != nil {
+			t.Fatalf("ReadEncoded(%d): %v", cursor, err)
+		}
+		if first == 0 {
+			t.Fatalf("ReadEncoded(%d) returned nothing below committed %d", cursor, leader.CommittedSeq())
+		}
+		if first != cursor+1 {
+			t.Fatalf("ReadEncoded(%d) started at %d", cursor, first)
+		}
+		got, err := follower.AppendFrames(data)
+		if err != nil {
+			t.Fatalf("AppendFrames: %v", err)
+		}
+		if got != last {
+			t.Fatalf("AppendFrames advanced to %d, batch ended at %d", got, last)
+		}
+	}
+}
+
+// TestStreamReplication is the core tentpole property at the journal layer:
+// frames shipped ReadEncoded→AppendFrames leave the follower with the same
+// chain, the same ledger, the same replayable records, and a byte-identical
+// WAL — despite different segment sizes and batch boundaries on each side.
+func TestStreamReplication(t *testing.T) {
+	leader := openFresh(t, Options{Dir: t.TempDir(), SegmentBytes: 300, ChainInterval: 4, Fsync: FsyncNone})
+	defer leader.Close()
+	follower := openFresh(t, Options{Dir: t.TempDir(), SegmentBytes: 450, ChainInterval: 4, Fsync: FsyncNone})
+	defer follower.Close()
+
+	recs := testRecords(30)
+	for _, r := range recs[:17] {
+		if err := leader.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := leader.NewBatch()
+	for _, r := range recs[17:] {
+		if err := b.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Commit().Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	streamAll(t, leader, follower)
+
+	if lh, fh := leader.ChainHead(), follower.ChainHead(); lh != fh {
+		t.Fatalf("chains diverge after streaming:\n leader:   %+v\n follower: %+v", lh, fh)
+	}
+	if _, diverged := CompareChains(leader.Entries(), follower.Entries()); diverged {
+		t.Fatal("ledgers diverge after streaming")
+	}
+	if err := follower.Barrier().Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if lw, fw := walBytes(t, leader.opts.Dir), walBytes(t, follower.opts.Dir); !bytes.Equal(lw, fw) {
+		t.Fatalf("WAL bytes differ: leader %d bytes, follower %d bytes", len(lw), len(fw))
+	}
+
+	// The follower's log replays to the leader's records.
+	fdir := follower.opts.Dir
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, info, j2 := replayAll(t, Options{Dir: fdir, ChainInterval: 4})
+	defer j2.Close()
+	if info.Replayed != len(recs) {
+		t.Fatalf("follower replayed %d, want %d", info.Replayed, len(recs))
+	}
+	for i := range recs {
+		recs[i].Seq = uint64(i + 1) // Batch.Add does not stamp the caller's copy
+		if !reflect.DeepEqual(got[i], recs[i]) {
+			t.Fatalf("record %d differs:\n got %+v\nwant %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+// TestReadEncodedBounds: cursor at the committed head returns nothing;
+// maxBytes caps the batch but always ships at least one frame.
+func TestReadEncodedBounds(t *testing.T) {
+	j := openFresh(t, Options{Dir: t.TempDir(), Fsync: FsyncNone})
+	defer j.Close()
+	for _, r := range testRecords(5) {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if data, first, _, err := j.ReadEncoded(j.CommittedSeq(), 1<<20); err != nil || data != nil || first != 0 {
+		t.Fatalf("read at head: %v %d %v", data, first, err)
+	}
+	data, first, last, err := j.ReadEncoded(0, 1)
+	if err != nil || first != 1 || last != 1 {
+		t.Fatalf("tiny budget: first=%d last=%d err=%v", first, last, err)
+	}
+	if n, err := scanFrames(data, nil); err != nil || n != len(data) {
+		t.Fatalf("tiny batch is not clean frames: %d of %d, %v", n, len(data), err)
+	}
+}
+
+// TestReadEncodedCompacted: a cursor behind the oldest retained segment is
+// ErrCompacted, and InstallSnapshot re-bootstraps a follower that then
+// streams the tail and converges.
+func TestReadEncodedCompacted(t *testing.T) {
+	opts := Options{Dir: t.TempDir(), SegmentBytes: 200, ChainInterval: 4, KeepSnapshots: 1, Fsync: FsyncNone}
+	leader := openFresh(t, opts)
+	defer leader.Close()
+	recs := testRecords(40)
+	for _, r := range recs[:30] {
+		if err := leader.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.WriteSnapshot(leader.ChainHead(), []byte(`{"at":30}`)); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs[30:] {
+		if err := leader.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, _, err := leader.ReadEncoded(0, 1<<20); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("cursor 0 after compaction: %v, want ErrCompacted", err)
+	}
+
+	// Re-bootstrap: install the leader's checkpoint, then stream the tail.
+	cp := Checkpoint{
+		At:       mustBase(t, leader),
+		Interval: leader.Interval(),
+		Entries:  leader.Entries(),
+		State:    []byte(`{"at":30}`),
+	}
+	fopts := Options{Dir: t.TempDir(), ChainInterval: 4, Fsync: FsyncNone}
+	if err := InstallSnapshot(fopts, cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := InstallSnapshot(fopts, cp); err == nil {
+		t.Fatal("InstallSnapshot into a seeded directory must refuse")
+	}
+	follower, info, err := Open(fopts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	if info.SnapshotSeq != 30 || string(info.Snapshot) != `{"at":30}` {
+		t.Fatalf("bootstrap recovery: %+v", info)
+	}
+	streamAll(t, leader, follower)
+	if lh, fh := leader.ChainHead(), follower.ChainHead(); lh != fh {
+		t.Fatalf("chains diverge after re-bootstrap: %+v vs %+v", lh, fh)
+	}
+}
+
+// mustBase returns the leader's persisted base point at its last snapshot —
+// what a checkpoint endpoint would pair with the snapshot state.
+func mustBase(t *testing.T, j *Journal) ChainPoint {
+	t.Helper()
+	j.snapMu.Lock()
+	defer j.snapMu.Unlock()
+	if len(j.bases) == 0 {
+		t.Fatal("no snapshot base")
+	}
+	return j.bases[len(j.bases)-1]
+}
+
+// TestAppendFramesRejects: a gap, a stale cursor, or garbage bytes leave the
+// follower journal untouched.
+func TestAppendFramesRejects(t *testing.T) {
+	leader := openFresh(t, Options{Dir: t.TempDir(), Fsync: FsyncNone})
+	defer leader.Close()
+	for _, r := range testRecords(6) {
+		if err := leader.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	follower := openFresh(t, Options{Dir: t.TempDir(), Fsync: FsyncNone})
+	defer follower.Close()
+
+	// Frames starting at seq 3 cannot land on an empty journal.
+	data, _, _, err := leader.ReadEncoded(2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := follower.AppendFrames(data); err == nil {
+		t.Fatal("accepted frames starting at seq 3 on an empty journal")
+	}
+	if follower.LastSeq() != 0 {
+		t.Fatalf("failed append advanced seq to %d", follower.LastSeq())
+	}
+
+	// Garbage suffix after valid frames.
+	data, _, _, err = leader.ReadEncoded(0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := follower.AppendFrames(append(append([]byte{}, data...), "junk"...)); err == nil {
+		t.Fatal("accepted frames with a garbage suffix")
+	}
+	if follower.LastSeq() != 0 {
+		t.Fatalf("failed append advanced seq to %d", follower.LastSeq())
+	}
+
+	// The clean batch lands, and replaying it again is rejected (stale).
+	if last, err := follower.AppendFrames(data); err != nil || last != 6 {
+		t.Fatalf("clean append: %d, %v", last, err)
+	}
+	if _, err := follower.AppendFrames(data); err == nil {
+		t.Fatal("accepted a replayed batch")
+	}
+}

@@ -113,6 +113,60 @@ func NewMetrics(s API) *Metrics {
 			})
 	}
 
+	if src, ok := s.(replicaSource); ok {
+		reg.Collect("vmallocd_replication_committed_seq",
+			"Leader-side committed (acked-durable) sequence per shard journal.", "gauge",
+			func(emit func(metrics.Labels, float64)) {
+				cs, err := src.ChainStatus()
+				if err != nil {
+					return
+				}
+				for _, c := range cs {
+					emit(metrics.L("shard", strconv.Itoa(c.Shard)), float64(c.CommittedSeq))
+				}
+			})
+	}
+	if rst, ok := s.(replicaStatser); ok {
+		reg.Collect("vmallocd_replication_applied_seq",
+			"Follower-side applied-durable sequence per shard journal.", "gauge",
+			func(emit func(metrics.Labels, float64)) {
+				for _, sh := range rst.ReplicationStatus().Shards {
+					emit(metrics.L("shard", strconv.Itoa(sh.Shard)), float64(sh.AppliedSeq))
+				}
+			})
+		reg.Collect("vmallocd_replication_lag_records",
+			"Follower lag behind the leader's committed seq, per shard, at the last poll.", "gauge",
+			func(emit func(metrics.Labels, float64)) {
+				for _, sh := range rst.ReplicationStatus().Shards {
+					emit(metrics.L("shard", strconv.Itoa(sh.Shard)), float64(sh.Lag))
+				}
+			})
+		reg.Collect("vmallocd_replication_batches_total",
+			"Stream batches applied by the follower.", "counter",
+			func(emit func(metrics.Labels, float64)) {
+				emit(nil, float64(rst.ReplicationStatus().Batches))
+			})
+		reg.Collect("vmallocd_replication_records_total",
+			"Records applied by the follower.", "counter",
+			func(emit func(metrics.Labels, float64)) {
+				emit(nil, float64(rst.ReplicationStatus().Records))
+			})
+		reg.Collect("vmallocd_replication_retries_total",
+			"Transient pull failures retried by the replication client.", "counter",
+			func(emit func(metrics.Labels, float64)) {
+				emit(nil, float64(rst.ReplicationStatus().Retries))
+			})
+		reg.Collect("vmallocd_replication_promoted",
+			"1 once this process has been promoted to leader, else 0.", "gauge",
+			func(emit func(metrics.Labels, float64)) {
+				v := 0.0
+				if rst.ReplicationStatus().Promoted {
+					v = 1
+				}
+				emit(nil, v)
+			})
+	}
+
 	if ss, ok := s.(shardStatser); ok {
 		shardGauge := func(name, help string, f func(st vmalloc.ShardStat) (float64, bool)) {
 			reg.Collect(name, help, "gauge", func(emit func(metrics.Labels, float64)) {

@@ -51,6 +51,10 @@ func Routes() []string {
 	ss := struct {
 		API
 		shardStatser
+		replicaSource
+		replicaStatser
+		promoter
+		readier
 	}{}
 	rs := routes(ss, &Metrics{})
 	out := make([]string, len(rs))
@@ -280,6 +284,7 @@ func routes(s API, m *Metrics) []route {
 			writeJSON(w, http.StatusOK, map[string]uint64{"seq": seq})
 		}},
 	)
+	rs = append(rs, replicaRoutes(s)...)
 	if m != nil {
 		rs = append(rs, route{"GET", "/metrics", m.serveText})
 	}
@@ -287,7 +292,151 @@ func routes(s API, m *Metrics) []route {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok\n"))
 	}})
+	rs = append(rs, route{"GET", "/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if rd, ok := s.(readier); ok {
+			if err := rd.Ready(); err != nil {
+				httpError(w, http.StatusServiceUnavailable, err)
+				return
+			}
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ready\n"))
+	}})
 	return rs
+}
+
+// replicaRoutes builds the replication and failover endpoints a store's
+// optional interfaces enable: the /v1/replica/* leader surface
+// (replicaSource), the follower status endpoint (replicaStatser) and
+// explicit promotion (promoter).
+func replicaRoutes(s API) []route {
+	var rs []route
+	if src, ok := s.(replicaSource); ok {
+		rs = append(rs,
+			route{"GET", "/v1/replica/manifest", func(w http.ResponseWriter, r *http.Request) {
+				m, err := src.ReplicaManifest()
+				if err != nil {
+					mutationError(w, err)
+					return
+				}
+				writeJSON(w, http.StatusOK, m)
+			}},
+			route{"GET", "/v1/replica/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+				shard, ok := queryInt(w, r, "shard", 0)
+				if !ok {
+					return
+				}
+				cp, err := src.ReplicaCheckpoint(shard)
+				if err != nil {
+					mutationError(w, err)
+					return
+				}
+				writeJSON(w, http.StatusOK, cp)
+			}},
+			route{"GET", "/v1/replica/stream", func(w http.ResponseWriter, r *http.Request) {
+				shard, ok := queryInt(w, r, "shard", 0)
+				if !ok {
+					return
+				}
+				from, ok := queryUint64(w, r, "from", 0)
+				if !ok {
+					return
+				}
+				max, ok := queryInt(w, r, "max", defaultStreamBytes)
+				if !ok {
+					return
+				}
+				if max <= 0 || max > maxStreamBytes {
+					max = maxStreamBytes
+				}
+				b, err := src.ReplicaStream(shard, from, max)
+				if errors.Is(err, ErrCompacted) {
+					httpError(w, http.StatusGone, err)
+					return
+				}
+				if err != nil {
+					mutationError(w, err)
+					return
+				}
+				if b == nil {
+					w.WriteHeader(http.StatusNoContent)
+					return
+				}
+				w.Header().Set("Content-Type", "application/octet-stream")
+				w.Header().Set(streamFirstHeader, strconv.FormatUint(b.First, 10))
+				w.Header().Set(streamLastHeader, strconv.FormatUint(b.Last, 10))
+				w.WriteHeader(http.StatusOK)
+				w.Write(b.Data)
+			}},
+			route{"GET", "/v1/replica/chains", func(w http.ResponseWriter, r *http.Request) {
+				cs, err := src.ChainStatus()
+				if err != nil {
+					mutationError(w, err)
+					return
+				}
+				writeJSON(w, http.StatusOK, cs)
+			}},
+		)
+	}
+	if st, ok := s.(replicaStatser); ok {
+		rs = append(rs, route{"GET", "/v1/replica/status", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, st.ReplicationStatus())
+		}})
+	}
+	if p, ok := s.(promoter); ok {
+		rs = append(rs, route{"POST", "/v1/promote", func(w http.ResponseWriter, r *http.Request) {
+			if err := p.Promote(); err != nil {
+				if errors.Is(err, ErrInvalid) || errors.Is(err, ErrClosed) {
+					mutationError(w, err)
+				} else {
+					httpError(w, http.StatusConflict, err)
+				}
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]bool{"promoted": true})
+		}})
+	}
+	return rs
+}
+
+// Stream batch size bounds: the default keeps a poll response comfortably
+// under one segment; the cap bounds the response the handler will build.
+const (
+	defaultStreamBytes = 1 << 20
+	maxStreamBytes     = 8 << 20
+)
+
+// streamFirstHeader/streamLastHeader carry the record range of a stream
+// batch response.
+const (
+	streamFirstHeader = "Vmalloc-First-Seq"
+	streamLastHeader  = "Vmalloc-Last-Seq"
+)
+
+func queryInt(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
+	q := r.URL.Query().Get(name)
+	if q == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid %s %q", name, q))
+		return 0, false
+	}
+	return v, true
+}
+
+func queryUint64(w http.ResponseWriter, r *http.Request, name string, def uint64) (uint64, bool) {
+	q := r.URL.Query().Get(name)
+	if q == "" {
+		return def, true
+	}
+	v, err := strconv.ParseUint(q, 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid %s %q", name, q))
+		return 0, false
+	}
+	return v, true
 }
 
 // Handler returns the vmallocd HTTP/JSON API over a store, without metrics:
@@ -436,10 +585,16 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any, required bool) (o
 }
 
 // mutationError maps store errors by type: validation problems (ErrInvalid)
-// are the client's fault, an unknown id is 404, a closed store is 503, and
-// everything else — journal failure above all — is a 500.
+// are the client's fault, an unknown id is 404, a closed store or an
+// unpromoted replica is 503 (the replica adds Retry-After), and everything
+// else — journal failure above all — is a 500.
 func mutationError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, ErrReadOnly):
+		// A follower refuses mutations; the client should retry against the
+		// promoted store (or this one, shortly after its promotion).
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrClosed):
 		httpError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrInvalid):

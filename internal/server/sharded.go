@@ -70,7 +70,26 @@ func syncShardDir(dir string) error {
 	return d.Sync()
 }
 
+// SaveShardManifest durably writes the shard manifest of dir, creating the
+// directory if needed. A replication follower mirrors the leader's manifest
+// with it before installing per-shard checkpoints.
+func SaveShardManifest(dir string, m *ShardManifest) error {
+	if m == nil || m.Shards < 1 || m.Shards > len(m.Nodes) {
+		return errors.New("server: invalid shard manifest")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if err := writeShardManifest(dir, m); err != nil {
+		return fmt.Errorf("server: writing shard manifest: %w", err)
+	}
+	return nil
+}
+
 func shardDir(dir string, s int) string { return filepath.Join(dir, fmt.Sprintf("shard-%d", s)) }
+
+// ShardDir returns the journal directory of shard s under dir.
+func ShardDir(dir string, s int) string { return shardDir(dir, s) }
 
 // DirRecovered reports whether dir already holds a journaled cluster —
 // sharded (manifest present) or unsharded (journal files present) — i.e.
@@ -123,8 +142,9 @@ func DescribeDir(dir string) string {
 // shards — never in zero — and recovery resolves the duplicate by move
 // generation (see vmalloc.ShardedRestore.Finish). Safe for concurrent use.
 type ShardedStore struct {
-	opts Options
-	dir  string
+	opts     Options
+	dir      string
+	manifest *ShardManifest // immutable after OpenSharded
 
 	mu           sync.Mutex
 	cluster      *vmalloc.ShardedCluster
@@ -188,12 +208,91 @@ func OpenSharded(dir string, nodes []vmalloc.Node, opts *Options) (*ShardedStore
 	} else if opts.Shards != 0 && opts.Shards != m.Shards {
 		return nil, fmt.Errorf("server: -shards %d conflicts with recovered manifest (%d shards)", opts.Shards, m.Shards)
 	}
-	sopts := s.shardedOptions(m)
+	s.manifest = m
+
+	rep, err := OpenShardedReplay(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	cluster, warnings, err := rep.Restore.Finish()
+	if err != nil {
+		rep.Close()
+		return nil, err
+	}
+	s.cluster = cluster
+	s.RecoveryWarnings = warnings
+	s.js = rep.Journals
+	s.stats.Replayed = rep.Replayed
+	s.stats.TruncatedBytes = rep.TruncatedBytes
+	s.stats.SnapshotSeq = rep.SnapshotSeq
+	s.stats.Threshold = cluster.State().Threshold
+	cluster.SetHook(s.onEvent)
+
+	if rep.Fresh || (opts.snapshotEvery() > 0 && rep.Replayed >= opts.snapshotEvery()) {
+		if _, err := s.Checkpoint(); err != nil {
+			s.closeJournals()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// ShardedReplay is a recovered-but-unreconciled sharded directory: every
+// shard journal is open for appending, every shard engine is restored from
+// its snapshot with the WAL tail replayed, and the ShardedRestore is still
+// open — reconciliation (Finish) has NOT run. It is the serving state of a
+// replication follower: the leader's streamed records keep applying through
+// Restore, and promotion finishes (or re-opens) the directory into a
+// writable ShardedStore.
+type ShardedReplay struct {
+	Manifest *ShardManifest
+	Restore  *vmalloc.ShardedRestore
+	Journals []*journal.Journal
+	// Boot-time recovery facts, summed over shards.
+	Replayed       int
+	TruncatedBytes int
+	SnapshotSeq    uint64
+	// Fresh reports that at least one shard had no snapshot (first boot).
+	Fresh bool
+}
+
+// Close releases the shard journals (and with them the directory locks).
+func (rp *ShardedReplay) Close() error {
+	var first error
+	for _, j := range rp.Journals {
+		if j != nil {
+			if err := j.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// OpenShardedReplay recovers a sharded journal directory up to — but not
+// including — cross-shard reconciliation. The directory must already hold a
+// shard manifest (OpenSharded writes one on first boot; a follower copies
+// the leader's). OpenSharded composes this with Finish; a replication
+// follower keeps the replay seam open and applies streamed records instead.
+func OpenShardedReplay(dir string, opts *Options) (*ShardedReplay, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	m, err := LoadShardManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("server: %s has no shard manifest", dir)
+	}
+	if opts.Shards != 0 && opts.Shards != m.Shards {
+		return nil, fmt.Errorf("server: -shards %d conflicts with recovered manifest (%d shards)", opts.Shards, m.Shards)
+	}
+	rp := &ShardedReplay{Manifest: m}
 
 	// Phase 1: per-shard journal recovery — newest snapshot per shard.
 	recs := make([]*journal.Recovery, m.Shards)
 	states := make([]*vmalloc.ClusterState, m.Shards)
-	fresh := false
 	defer func() {
 		for _, rc := range recs {
 			if rc != nil {
@@ -207,6 +306,8 @@ func OpenSharded(dir string, nodes []vmalloc.Node, opts *Options) (*ShardedStore
 			SegmentBytes:     opts.SegmentBytes,
 			Fsync:            opts.Fsync,
 			KeepSnapshots:    opts.KeepSnapshots,
+			ChainInterval:    opts.ChainInterval,
+			FS:               opts.FS,
 			ValidateSnapshot: func(b []byte) error { _, err := DecodeState(b); return err },
 		})
 		if err != nil {
@@ -220,77 +321,56 @@ func OpenSharded(dir string, nodes []vmalloc.Node, opts *Options) (*ShardedStore
 			}
 			states[i] = st
 		} else {
-			fresh = true
+			rp.Fresh = true
 		}
 	}
 
 	// Phase 2: restore engines from snapshots, replay each shard's tail.
+	sopts := &vmalloc.ShardedOptions{
+		ClusterOptions: opts.Cluster,
+		Shards:         m.Shards,
+		Seed:           m.Seed,
+		RebalanceGap:   opts.RebalanceGap,
+		RebalanceMoves: opts.RebalanceMoves,
+	}
 	restore, err := vmalloc.RestoreShardedCluster(m.Nodes, states, sopts)
 	if err != nil {
 		return nil, err
 	}
-	replayed, truncated := 0, 0
+	rp.Restore = restore
 	for i, rc := range recs {
 		shardIdx := i
 		if err := rc.Replay(func(r *journal.Record) error {
-			return applyShardRecord(restore, shardIdx, r)
+			return ApplyShardRecord(restore, shardIdx, r)
 		}); err != nil {
 			return nil, fmt.Errorf("server: shard %d: %w", i, err)
 		}
 		info := rc.Info()
-		replayed += info.Replayed
-		truncated += info.TruncatedBytes
-		if info.SnapshotSeq > s.stats.SnapshotSeq {
-			s.stats.SnapshotSeq = info.SnapshotSeq
+		rp.Replayed += info.Replayed
+		rp.TruncatedBytes += info.TruncatedBytes
+		if info.SnapshotSeq > rp.SnapshotSeq {
+			rp.SnapshotSeq = info.SnapshotSeq
 		}
 	}
-	cluster, warnings, err := restore.Finish()
-	if err != nil {
-		return nil, err
-	}
-	s.cluster = cluster
-	s.RecoveryWarnings = warnings
 
-	// Phase 3: open the journals for appending and install the hook.
-	s.js = make([]*journal.Journal, m.Shards)
+	// Phase 3: open the journals for appending.
+	rp.Journals = make([]*journal.Journal, m.Shards)
 	for i, rc := range recs {
 		j, err := rc.Journal()
 		if err != nil {
-			for _, open := range s.js {
-				if open != nil {
-					open.Close()
-				}
-			}
+			rp.Close()
 			return nil, fmt.Errorf("server: shard %d: %w", i, err)
 		}
-		s.js[i] = j
+		rp.Journals[i] = j
 	}
-	s.stats.Replayed = replayed
-	s.stats.TruncatedBytes = truncated
-	s.stats.Threshold = cluster.State().Threshold
-	cluster.SetHook(s.onEvent)
-
-	if fresh || (opts.snapshotEvery() > 0 && replayed >= opts.snapshotEvery()) {
-		if _, err := s.Checkpoint(); err != nil {
-			s.closeJournals()
-			return nil, err
-		}
-	}
-	return s, nil
+	return rp, nil
 }
 
-func (s *ShardedStore) shardedOptions(m *ShardManifest) *vmalloc.ShardedOptions {
-	return &vmalloc.ShardedOptions{
-		ClusterOptions: s.opts.Cluster,
-		Shards:         m.Shards,
-		Seed:           m.Seed,
-		RebalanceGap:   s.opts.RebalanceGap,
-		RebalanceMoves: s.opts.RebalanceMoves,
-	}
-}
-
-// applyShardRecord replays one journaled decision of shard i.
-func applyShardRecord(rc *vmalloc.ShardedRestore, i int, r *journal.Record) error {
+// ApplyShardRecord replays one journaled decision of shard i against an open
+// ShardedRestore. Boot-time recovery and a replication follower's streamed
+// apply path share it, so a follower interprets records exactly the way a
+// crash-recovering leader would.
+func ApplyShardRecord(rc *vmalloc.ShardedRestore, i int, r *journal.Record) error {
 	switch r.Op {
 	case journal.OpAdd:
 		return rc.ShardAdd(i, r.ID, r.Node, r.TrueSvc, r.EstSvc)
@@ -645,7 +725,7 @@ func (s *ShardedStore) Checkpoint() (uint64, error) {
 		return 0, ErrClosed
 	}
 	type shardSnap struct {
-		seq  uint64
+		at   journal.ChainPoint
 		data []byte
 	}
 	snaps := make([]shardSnap, len(s.js))
@@ -659,7 +739,7 @@ func (s *ShardedStore) Checkpoint() (uint64, error) {
 			encErr = err
 			break
 		}
-		snaps[i] = shardSnap{seq: j.LastSeq(), data: data}
+		snaps[i] = shardSnap{at: j.ChainHead(), data: data}
 	}
 	s.mu.Unlock()
 	if encErr != nil {
@@ -672,11 +752,11 @@ func (s *ShardedStore) Checkpoint() (uint64, error) {
 	}
 	var maxSeq uint64
 	for i, j := range s.js {
-		if err := j.WriteSnapshot(snaps[i].seq, snaps[i].data); err != nil {
+		if err := j.WriteSnapshot(snaps[i].at, snaps[i].data); err != nil {
 			return 0, fmt.Errorf("server: shard %d snapshot: %w", i, err)
 		}
-		if snaps[i].seq > maxSeq {
-			maxSeq = snaps[i].seq
+		if snaps[i].at.Seq > maxSeq {
+			maxSeq = snaps[i].at.Seq
 		}
 	}
 	s.mu.Lock()

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"vmalloc"
+	"vmalloc/internal/faultfs"
 	"vmalloc/internal/journal"
 )
 
@@ -34,10 +35,14 @@ type Options struct {
 	// parallelism, LP bound). When recovering, the threshold inside the
 	// recovered state wins over Cluster.Threshold.
 	Cluster vmalloc.ClusterOptions
-	// SegmentBytes, Fsync and KeepSnapshots pass through to the journal.
+	// SegmentBytes, Fsync, KeepSnapshots, ChainInterval and FS pass through
+	// to the journal. FS (nil for the real filesystem) is the fault-injection
+	// seam: crash-safety tests run the whole store over a faultfs.Injector.
 	SegmentBytes  int64
 	Fsync         journal.FsyncMode
 	KeepSnapshots int
+	ChainInterval int
+	FS            faultfs.FS
 	// SnapshotEvery writes a state snapshot (and compacts the log) after
 	// this many journaled records; 0 selects 4096, negative disables
 	// automatic snapshots.
@@ -182,6 +187,8 @@ func Open(dir string, nodes []vmalloc.Node, opts *Options) (*Store, error) {
 		SegmentBytes:     opts.SegmentBytes,
 		Fsync:            opts.Fsync,
 		KeepSnapshots:    opts.KeepSnapshots,
+		ChainInterval:    opts.ChainInterval,
+		FS:               opts.FS,
 		ValidateSnapshot: func(b []byte) error { _, err := DecodeState(b); return err },
 	}
 	rc, err := journal.Recover(jopts)
@@ -565,13 +572,14 @@ func (s *Store) Checkpoint() (uint64, error) {
 		return 0, ErrClosed
 	}
 	st := s.cluster.State()
-	seq := s.j.LastSeq()
+	at := s.j.ChainHead() // seq + chain, consistent with st under s.mu
+	seq := at.Seq
 	s.mu.Unlock()
 	data, err := EncodeState(st)
 	if err != nil {
 		return 0, err
 	}
-	if err := s.j.WriteSnapshot(seq, data); err != nil {
+	if err := s.j.WriteSnapshot(at, data); err != nil {
 		return 0, err
 	}
 	s.mu.Lock()

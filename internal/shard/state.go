@@ -7,6 +7,7 @@ import (
 
 	"vmalloc/internal/core"
 	"vmalloc/internal/engine"
+	"vmalloc/internal/sched"
 	"vmalloc/internal/vec"
 )
 
@@ -199,6 +200,49 @@ func (rc *Recovery) ShardApplyPlacement(s int, ids []int, pl core.Placement) err
 	_, err = d.eng.ApplyPlacementByID(ids, pl)
 	return err
 }
+
+// Read view — the surface a replication follower serves while it tails the
+// leader's journals through a never-finished Recovery. Each method reads the
+// shard engines exactly as the corresponding Router method would; none of
+// them require the cross-shard reconciliation Finish performs, so they are
+// valid mid-replay (a torn rebalance move may transiently show a service in
+// two shards, which is the same duplication Finish repairs). The caller must
+// serialize reads against Shard* replay calls. Reads are valid until Finish.
+
+// Shards returns the number of placement domains.
+func (rc *Recovery) Shards() int { return rc.r.Shards() }
+
+// Len returns the number of live service copies across all shards. During a
+// torn rebalance window a moving service is counted in both shards.
+func (rc *Recovery) Len() int {
+	n := 0
+	for _, d := range rc.r.domains {
+		n += d.eng.Len()
+	}
+	return n
+}
+
+// Nodes returns the full park node slice.
+func (rc *Recovery) Nodes() []core.Node { return rc.r.Nodes() }
+
+// NodeRange returns the park-global [lo, hi) node range of shard s.
+func (rc *Recovery) NodeRange(s int) (lo, hi int) { return rc.r.NodeRange(s) }
+
+// ShardState returns a deep copy of shard s's current engine state.
+func (rc *Recovery) ShardState(s int) *engine.State { return rc.r.ShardState(s) }
+
+// Threshold returns the mitigation threshold currently replayed into shard
+// 0. Shards can transiently disagree after a torn SetThreshold; promotion
+// re-opens the store and reconciles exactly as crash recovery does.
+func (rc *Recovery) Threshold() float64 { return rc.r.Threshold() }
+
+// MinYield evaluates the achieved minimum yield over the replayed shards.
+func (rc *Recovery) MinYield(policy sched.Policy) float64 { return rc.r.MinYield(policy) }
+
+// Stats returns per-shard statistics over the replayed engines. Epoch and
+// migration counters are zero on a follower: epochs replay as journaled
+// placements, not as locally-solved epochs.
+func (rc *Recovery) Stats() []Stat { return rc.r.Stats() }
 
 // Finish reconciles the replayed shards into a ready Router. It returns
 // human-readable warnings for every cross-WAL repair it performed (dropped

@@ -310,22 +310,40 @@ func (c *ShardedCluster) ShardStats() []ShardStat { return c.r.Stats() }
 // own node slice plus its engine state (services keep their global ids;
 // node indices are shard-local). The per-shard states are the snapshot
 // payloads of the sharded durable tier.
-func (c *ShardedCluster) ShardState(s int) *ClusterState {
-	lo, hi := c.r.NodeRange(s)
-	nodes := cloneNodes(c.r.Nodes()[lo:hi])
-	return &ClusterState{Nodes: nodes, State: *c.r.ShardState(s)}
-}
+func (c *ShardedCluster) ShardState(s int) *ClusterState { return shardState(c.r, s) }
 
 // State returns the merged park-global durable state: all nodes in park
 // order, services ascending by id with park-global node indices, and the
 // concatenated per-node loads. With K=1 it is bit-identical to the State of
 // an equivalent Cluster.
-func (c *ShardedCluster) State() *ClusterState {
-	st := &ClusterState{Nodes: cloneNodes(c.r.Nodes())}
-	st.Threshold = c.r.Threshold()
-	for s := 0; s < c.r.Shards(); s++ {
-		es := c.r.ShardState(s)
-		lo, _ := c.r.NodeRange(s)
+func (c *ShardedCluster) State() *ClusterState { return mergedState(c.r) }
+
+// routerView is the read surface shared by a live shard.Router and a
+// never-finished shard.Recovery (the replication follower's replay seam).
+type routerView interface {
+	Shards() int
+	Nodes() []Node
+	NodeRange(s int) (lo, hi int)
+	ShardState(s int) *engine.State
+	Threshold() float64
+}
+
+// shardState extracts the durable state of one placement domain from a
+// router view (see ShardedCluster.ShardState for the representation).
+func shardState(r routerView, s int) *ClusterState {
+	lo, hi := r.NodeRange(s)
+	nodes := cloneNodes(r.Nodes()[lo:hi])
+	return &ClusterState{Nodes: nodes, State: *r.ShardState(s)}
+}
+
+// mergedState builds the merged park-global durable state from a router
+// view (see ShardedCluster.State for the representation).
+func mergedState(r routerView) *ClusterState {
+	st := &ClusterState{Nodes: cloneNodes(r.Nodes())}
+	st.Threshold = r.Threshold()
+	for s := 0; s < r.Shards(); s++ {
+		es := r.ShardState(s)
+		lo, _ := r.NodeRange(s)
 		for i := range es.Services {
 			if es.Services[i].Node != Unplaced {
 				es.Services[i].Node += lo

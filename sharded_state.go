@@ -138,6 +138,40 @@ func (r *ShardedRestore) ShardApplyPlacement(s int, ids []int, pl Placement) err
 	return r.rc.ShardApplyPlacement(s, ids, pl)
 }
 
+// Read view — a replication follower applies the leader's journal records
+// through the Shard* methods above for as long as it follows, and serves
+// these read-only queries from the half-restored cluster without ever
+// calling Finish. The caller must serialize reads against replay. All reads
+// are valid until Finish; during a torn rebalance window a moving service
+// can transiently appear in two shards (Len counts both), exactly the
+// duplication Finish reconciles on promotion.
+
+// Shards returns the number of placement domains being restored.
+func (r *ShardedRestore) Shards() int { return r.rc.Shards() }
+
+// Len returns the number of live service copies across all shards.
+func (r *ShardedRestore) Len() int { return r.rc.Len() }
+
+// Threshold returns the currently replayed mitigation threshold.
+func (r *ShardedRestore) Threshold() float64 { return r.rc.Threshold() }
+
+// MinYield evaluates the achieved minimum yield of the replayed placement
+// under the §6 error model, exactly as ShardedCluster.MinYield would.
+func (r *ShardedRestore) MinYield(policy SchedPolicy) float64 { return r.rc.MinYield(policy) }
+
+// ShardStats returns per-shard statistics over the replayed engines. Epoch
+// and migration counters stay zero while following: epochs arrive as
+// journaled placements, not locally-solved epochs.
+func (r *ShardedRestore) ShardStats() []ShardStat { return r.rc.Stats() }
+
+// ShardState returns the durable state of one replayed placement domain, in
+// the same representation as ShardedCluster.ShardState.
+func (r *ShardedRestore) ShardState(s int) *ClusterState { return shardState(r.rc, s) }
+
+// State returns the merged park-global durable state of the replayed
+// cluster, in the same representation as ShardedCluster.State.
+func (r *ShardedRestore) State() *ClusterState { return mergedState(r.rc) }
+
 // Finish reconciles the replayed shards and returns the recovered cluster
 // plus human-readable warnings for any cross-WAL repairs (dropped duplicate
 // or resurrected copies, threshold realignment); warnings are empty after a

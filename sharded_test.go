@@ -276,6 +276,65 @@ func TestShardedStateRoundTrip(t *testing.T) {
 	}
 }
 
+// TestShardedRestoreReadView: the never-finished restore (a replication
+// follower's serving state) answers reads identically to the live cluster it
+// mirrors, and Finish afterwards still produces the identical cluster.
+func TestShardedRestoreReadView(t *testing.T) {
+	nodes := clusterNodes(8)
+	opts := &ShardedOptions{Shards: 2, Seed: 3}
+	c, err := NewShardedCluster(nodes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveTape(t, c, shardedTape(120, 33))
+
+	states := make([]*ClusterState, c.Shards())
+	for s := range states {
+		states[s] = c.ShardState(s)
+	}
+	rc, err := RestoreShardedCluster(nodes, states, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reads BEFORE Finish — what a follower serves while tailing.
+	if rc.Shards() != c.Shards() || rc.Len() != c.Len() {
+		t.Fatalf("read view shape: shards %d/%d len %d/%d",
+			rc.Shards(), c.Shards(), rc.Len(), c.Len())
+	}
+	if got, want := rc.MinYield(PolicyAllocCaps), c.MinYield(PolicyAllocCaps); got != want {
+		t.Fatalf("read view MinYield %g, want %g", got, want)
+	}
+	cj, _ := json.Marshal(c.State())
+	rj, _ := json.Marshal(rc.State())
+	if !bytes.Equal(cj, rj) {
+		t.Fatalf("read view merged state differs:\n%s\n%s", cj, rj)
+	}
+	for s := 0; s < c.Shards(); s++ {
+		cs, _ := json.Marshal(c.ShardState(s))
+		rs, _ := json.Marshal(rc.ShardState(s))
+		if !bytes.Equal(cs, rs) {
+			t.Fatalf("read view shard %d state differs", s)
+		}
+	}
+	stats := rc.ShardStats()
+	total := 0
+	for _, st := range stats {
+		total += st.Services
+	}
+	if total != c.Len() {
+		t.Fatalf("read view stats count %d services, want %d", total, c.Len())
+	}
+	// The read view did not disturb the restore: Finish still works.
+	restored, warnings, err := rc.Finish()
+	if err != nil || len(warnings) != 0 {
+		t.Fatalf("finish after reads: %v, warnings %v", err, warnings)
+	}
+	fj, _ := json.Marshal(restored.State())
+	if !bytes.Equal(cj, fj) {
+		t.Fatal("finish after reads diverged from the live cluster")
+	}
+}
+
 // TestShardedValidation mirrors the Cluster boundary checks.
 func TestShardedValidation(t *testing.T) {
 	c, err := NewShardedCluster(clusterNodes(4), &ShardedOptions{Shards: 2})
