@@ -20,6 +20,7 @@ import (
 	"vmalloc/internal/lp"
 	"vmalloc/internal/milp"
 	"vmalloc/internal/platform"
+	"vmalloc/internal/presolve"
 	"vmalloc/internal/relax"
 	"vmalloc/internal/sched"
 	"vmalloc/internal/trace"
@@ -134,6 +135,102 @@ func TestPaperScaleLPSparseVsDense(t *testing.T) {
 	if speedup := float64(denseTotal) / float64(sparseTotal); speedup < 5 {
 		t.Fatalf("sparse simplex only %.1fx faster than dense on the paper-scale grid (dense %v, sparse %v), want >= 5x",
 			speedup, denseTotal, sparseTotal)
+	}
+}
+
+// lpRosterRun drives the RRND/RRNZ roster over scenarios with the given
+// relaxation backend installed (single worker, so timings compare cleanly).
+func lpRosterRun(scns []workload.Scenario, be lp.Backend) *exp.ResultSet {
+	prev := relax.SetBackend(be)
+	defer relax.SetBackend(prev)
+	return (&exp.Runner{Workers: 1, DisableAllocStats: true}).Run(scns, exp.LPRoster(1))
+}
+
+// BenchmarkLPRosterPresolve times the paper-scale RRND/RRNZ roster through
+// the warm-start-only sparse simplex versus the presolving backend (the
+// default). The presolve sub-bench's edge over warmonly is the reduction
+// pipeline's payoff — Eq. 3/Eq. 7 substitutions eliminate every phase-1
+// artificial, so reduced models solve in a single phase — and is gated by
+// TestLPRosterPresolveSpeedup and archived in BENCH_lp.json.
+func BenchmarkLPRosterPresolve(b *testing.B) {
+	scns := lpPaperGrid()
+	b.Run("warmonly", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = lpRosterRun(scns, lp.Simplex{})
+		}
+	})
+	b.Run("presolve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = lpRosterRun(scns, presolve.Backend{})
+		}
+	})
+}
+
+// TestLPRosterPresolveSpeedup is the CI perf gate for the presolve tier on
+// the paper-scale (8 hosts x 64 services) LP grid. Equivalence half: the
+// presolving backend must reach the warm-start-only simplex's optimal
+// objective on every relaxation to 1e-9 (the optimal vertex may differ —
+// these degenerate LPs have alternative optima — so the rounded roster
+// yields are not compared) and its warm token must actually warm-start the
+// RRNZ-style re-solve. Timing half: the presolved RRND/RRNZ roster must run
+// >= 1.5x faster; skipped in -short mode and under the race detector, like
+// the other wall-clock gates.
+func TestLPRosterPresolveSpeedup(t *testing.T) {
+	scns := lpPaperGrid()
+	pre := presolve.Backend{}
+	for i, scn := range scns {
+		enc := relax.Encode(workload.Generate(scn))
+		plainSol, err := lp.Simplex{}.Solve(enc.LP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preSol, err := pre.Solve(enc.LP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plainSol.Status != preSol.Status {
+			t.Fatalf("scenario %d: status %v (warmonly) vs %v (presolve)", i, plainSol.Status, preSol.Status)
+		}
+		if plainSol.Status != lp.Optimal {
+			continue
+		}
+		if math.Abs(plainSol.Objective-preSol.Objective) > 1e-9*(1+math.Abs(plainSol.Objective)) {
+			t.Fatalf("scenario %d: objective %v (warmonly) vs %v (presolve)", i, plainSol.Objective, preSol.Objective)
+		}
+		warm, err := pre.SolveWarm(enc.LP, preSol.Basis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.WarmStarted {
+			t.Fatalf("scenario %d: presolve warm token did not install on an identical re-solve", i)
+		}
+		if math.Abs(warm.Objective-preSol.Objective) > 1e-9*(1+math.Abs(preSol.Objective)) {
+			t.Fatalf("scenario %d: warm objective %v vs cold %v", i, warm.Objective, preSol.Objective)
+		}
+	}
+
+	if testing.Short() || raceEnabled {
+		return
+	}
+	const runs = 3
+	timeBest := func(be lp.Backend) time.Duration {
+		best := time.Duration(math.MaxInt64)
+		for i := 0; i < runs; i++ {
+			start := time.Now()
+			_ = lpRosterRun(scns, be)
+			if el := time.Since(start); el < best {
+				best = el
+			}
+		}
+		return best
+	}
+	plainElapsed := timeBest(lp.Simplex{})
+	preElapsed := timeBest(pre)
+	speedup := float64(plainElapsed) / float64(preElapsed)
+	t.Logf("LP roster paper scale: warmonly %v, presolve %v (%.2fx)", plainElapsed, preElapsed, speedup)
+	if speedup < 1.5 {
+		t.Fatalf("presolved LP roster only %.2fx faster than warm-start-only (warmonly %v, presolve %v), want >= 1.5x",
+			speedup, plainElapsed, preElapsed)
 	}
 }
 

@@ -22,6 +22,8 @@ import (
 	"os"
 
 	"vmalloc"
+	"vmalloc/internal/lp"
+	"vmalloc/internal/relax"
 	"vmalloc/internal/server"
 )
 
@@ -36,6 +38,7 @@ func main() {
 		stateIn  = flag.String("state-in", "", "cluster state JSON to load (runs one reallocation epoch)")
 		stateOut = flag.String("state-out", "", "write the resulting cluster state JSON here")
 		budget   = flag.Int("budget", -1, "with -state-in: run a repair epoch with this migration budget instead of a full reallocation (-1 = full)")
+		mpsOut   = flag.String("mps-out", "", "write the problem's LP relaxation (Eqs. 3-7) to this file in MPS format and continue")
 	)
 	flag.Parse()
 
@@ -60,6 +63,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "  ", a)
 		}
 		os.Exit(2)
+	}
+
+	if *mpsOut != "" {
+		if err := writeMPSFile(*mpsOut, p); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("mps written:    %s\n", *mpsOut)
 	}
 
 	res, err := vmalloc.Solve(*algo, p, &vmalloc.Options{Seed: *seed, Parallel: *parallel})
@@ -133,6 +143,21 @@ func runStateEpoch(stateIn, stateOut string, budget int, parallel bool) {
 	if !ep.Result.Solved {
 		os.Exit(1)
 	}
+}
+
+// writeMPSFile dumps the paper's rational relaxation (the same model
+// internal/relax solves for LP rosters and bounds) in MPS format, so the
+// instance can be cross-checked against an external solver.
+func writeMPSFile(path string, p *vmalloc.Problem) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := lp.WriteMPS(f, relax.Encode(p).LP); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // saveSolvedState converts a solved one-shot problem into daemon-ready

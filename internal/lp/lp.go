@@ -41,6 +41,12 @@ const (
 	IterLimit
 )
 
+// ErrIterLimit is returned (wrapped) by SolveSparse and SolveSparseWarm when
+// the simplex hits its iteration cap before reaching optimality; the
+// accompanying Solution still reports Status == IterLimit and the iteration
+// count. Test with errors.Is.
+var ErrIterLimit = errors.New("lp: simplex iteration limit reached")
+
 // String returns a human-readable status name.
 func (s Status) String() string {
 	switch s {
@@ -85,6 +91,13 @@ type Problem struct {
 	// solvers handle them by variable shifting, so nonzero lower bounds do
 	// not inflate the row count (internal/milp fixes binaries to 1 this way).
 	Lower []float64
+	// MaxIter caps the total simplex iterations across both phases. Zero
+	// selects the automatic cap 200*(rows+columns+10), which is generous
+	// enough that only genuinely degenerate instances hit it (the solvers
+	// switch to Bland's rule after a degenerate stall, so the cap bounds
+	// slow convergence, not cycling). When the cap is hit the sparse
+	// solvers return ErrIterLimit alongside a Status == IterLimit solution.
+	MaxIter int
 }
 
 // NumVars returns the number of structural variables.
@@ -151,6 +164,9 @@ func (p *Problem) Validate() error {
 			return fmt.Errorf("lp: invalid upper bound %g for variable %d", u, j)
 		}
 	}
+	if p.MaxIter < 0 {
+		return fmt.Errorf("lp: negative MaxIter %d", p.MaxIter)
+	}
 	return nil
 }
 
@@ -187,6 +203,15 @@ const (
 	feasTol    = 1e-7
 	zeroClampT = 1e-11
 )
+
+// iterCap resolves the effective iteration limit: a caller-supplied
+// Problem.MaxIter when positive, else the automatic cap.
+func iterCap(maxIter, m, n int) int {
+	if maxIter > 0 {
+		return maxIter
+	}
+	return 200 * (m + n + 10)
+}
 
 // variable status within the simplex dictionary.
 type varStatus int8
@@ -391,7 +416,7 @@ func newTableau(p *Problem) *tableau {
 		banned:  make([]bool, n),
 		rowSign: make([]float64, m),
 		// Generous cap: phase transitions and degeneracy need headroom.
-		maxIter: 200 * (m + n + 10),
+		maxIter: iterCap(p.MaxIter, m, n),
 	}
 	for j := 0; j < ns; j++ {
 		if p.Upper != nil {

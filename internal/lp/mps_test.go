@@ -1,0 +1,209 @@
+package lp_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vmalloc/internal/lp"
+	"vmalloc/internal/presolve"
+)
+
+// netlibOptima lists the vendored corpus with optima in the solver's
+// maximization form (minimizing files negate: e.g. transp's min 210 is a
+// max of -210). These values gate both the raw simplex and the presolve
+// backend in CI.
+var netlibOptima = map[string]float64{
+	"klee3.mps":   10000,
+	"beale.mps":   0.05,
+	"transp.mps":  -210,
+	"diet.mps":    -7,
+	"degen.mps":   2,
+	"bndtest.mps": 7,
+}
+
+func parseNetlib(t *testing.T, name string) *lp.Problem {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "netlib", name))
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	defer f.Close()
+	p, err := lp.ParseMPS(f)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return p
+}
+
+// TestNetlibKnownOptima is the CI gate for solver correctness on the
+// vendored corpus: every backend must reproduce the documented optimum to
+// 1e-4.
+func TestNetlibKnownOptima(t *testing.T) {
+	backends := []lp.Backend{lp.Simplex{}, presolve.Backend{}}
+	for name, want := range netlibOptima {
+		p := parseNetlib(t, name)
+		for _, be := range backends {
+			sol, err := be.Solve(p)
+			if err != nil {
+				t.Errorf("%s via %s: %v", name, be.Name(), err)
+				continue
+			}
+			if sol.Status != lp.Optimal {
+				t.Errorf("%s via %s: status %v, want optimal", name, be.Name(), sol.Status)
+				continue
+			}
+			if math.Abs(sol.Objective-want) > 1e-4 {
+				t.Errorf("%s via %s: objective %.6f, want %.6f", name, be.Name(), sol.Objective, want)
+			}
+		}
+	}
+}
+
+// TestMPSRoundTripNetlib checks writer canonicalization: parsing any valid
+// file and writing it yields a form that is a fixed point of write→parse.
+func TestMPSRoundTripNetlib(t *testing.T) {
+	for name := range netlibOptima {
+		p := parseNetlib(t, name)
+		var first bytes.Buffer
+		if err := lp.WriteMPS(&first, p); err != nil {
+			t.Fatalf("write %s: %v", name, err)
+		}
+		q, err := lp.ParseMPS(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse %s: %v", name, err)
+		}
+		var second bytes.Buffer
+		if err := lp.WriteMPS(&second, q); err != nil {
+			t.Fatalf("rewrite %s: %v", name, err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("%s: write->parse->write not byte-stable", name)
+		}
+	}
+}
+
+// randomProblem builds a small LP with the full variety of features the MPS
+// layer must carry: all three senses, zero coefficients, empty columns,
+// negative and fixed bounds, infinite uppers.
+func randomProblem(rng *rand.Rand) *lp.Problem {
+	n := 1 + rng.Intn(8)
+	m := rng.Intn(7)
+	p := &lp.Problem{
+		Obj:   make([]float64, n),
+		A:     make([][]float64, m),
+		Sense: make([]lp.Sense, m),
+		B:     make([]float64, m),
+		Lower: make([]float64, n),
+		Upper: make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		if rng.Intn(4) > 0 {
+			p.Obj[j] = math.Round(rng.NormFloat64()*100) / 16 // dyadic: exact in float
+		}
+		p.Lower[j] = 0
+		if rng.Intn(3) == 0 {
+			p.Lower[j] = math.Round(rng.NormFloat64()*32) / 16
+		}
+		p.Upper[j] = math.Inf(1)
+		switch rng.Intn(3) {
+		case 0:
+			p.Upper[j] = p.Lower[j] + float64(rng.Intn(20))/4
+		case 1:
+			p.Upper[j] = p.Lower[j] // fixed
+		}
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			if rng.Intn(2) == 0 {
+				row[j] = math.Round(rng.NormFloat64()*64) / 16
+			}
+		}
+		p.A[i] = row
+		p.Sense[i] = lp.Sense(rng.Intn(3))
+		p.B[i] = math.Round(rng.NormFloat64() * 8)
+	}
+	return p
+}
+
+// TestMPSRoundTripProperty: for random problems, write→parse→write is
+// byte-stable and the parsed problem is solver-equivalent to the original.
+func TestMPSRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		p := randomProblem(rng)
+		var first bytes.Buffer
+		if err := lp.WriteMPS(&first, p); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		q, err := lp.ParseMPS(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\n%s", trial, err, first.String())
+		}
+		var second bytes.Buffer
+		if err := lp.WriteMPS(&second, q); err != nil {
+			t.Fatalf("trial %d: rewrite: %v", trial, err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("trial %d: write->parse->write not byte-stable:\n--- first\n%s\n--- second\n%s",
+				trial, first.String(), second.String())
+		}
+		if q.NumVars() != p.NumVars() || q.NumRows() != p.NumRows() {
+			t.Fatalf("trial %d: dims changed: %dx%d -> %dx%d",
+				trial, p.NumRows(), p.NumVars(), q.NumRows(), q.NumVars())
+		}
+		sp, errP := lp.SolveSparse(p.Sparsify())
+		sq, errQ := lp.SolveSparse(q)
+		if (errP == nil) != (errQ == nil) {
+			t.Fatalf("trial %d: solve error mismatch: %v vs %v", trial, errP, errQ)
+		}
+		if errP != nil {
+			continue
+		}
+		if sp.Status != sq.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, sp.Status, sq.Status)
+		}
+		if sp.Status == lp.Optimal && math.Abs(sp.Objective-sq.Objective) > 1e-9*(1+math.Abs(sp.Objective)) {
+			t.Fatalf("trial %d: objective %.12g vs %.12g", trial, sp.Objective, sq.Objective)
+		}
+	}
+}
+
+func TestMPSUnsupportedAndMalformed(t *testing.T) {
+	var unsup *lp.MPSUnsupportedError
+	var malformed *lp.MPSParseError
+	cases := []struct {
+		name string
+		src  string
+		want any
+	}{
+		{"ranges", "NAME X\nROWS\n N OBJ\n L R0\nCOLUMNS\n    A OBJ 1\nRANGES\n    RNG R0 4\nENDATA\n", &unsup},
+		{"free bound", "NAME X\nROWS\n N OBJ\nCOLUMNS\n    A OBJ 1\nBOUNDS\n FR BND A\nENDATA\n", &unsup},
+		{"mi bound", "NAME X\nROWS\n N OBJ\nCOLUMNS\n    A OBJ 1\nBOUNDS\n MI BND A\nENDATA\n", &unsup},
+		{"marker", "NAME X\nROWS\n N OBJ\nCOLUMNS\n    M1 'MARKER' 'INTORG'\nENDATA\n", &unsup},
+		{"second N row", "NAME X\nROWS\n N OBJ\n N OBJ2\nENDATA\n", &unsup},
+		{"negative UP", "NAME X\nROWS\n N OBJ\nCOLUMNS\n    A OBJ 1\nBOUNDS\n UP BND A -3\nENDATA\n", &unsup},
+		{"no endata", "NAME X\nROWS\n N OBJ\nCOLUMNS\n    A OBJ 1\n", &malformed},
+		{"unknown row", "NAME X\nROWS\n N OBJ\nCOLUMNS\n    A NOPE 1\nENDATA\n", &malformed},
+		{"bad number", "NAME X\nROWS\n N OBJ\nCOLUMNS\n    A OBJ abc\nENDATA\n", &malformed},
+		{"no columns", "NAME X\nROWS\n N OBJ\nENDATA\n", &malformed},
+		{"no objective", "NAME X\nROWS\n L R0\nCOLUMNS\n    A R0 1\nENDATA\n", &malformed},
+		{"dup coefficient", "NAME X\nROWS\n N OBJ\n L R0\nCOLUMNS\n    A R0 1\n    A R0 2\nENDATA\n", &malformed},
+	}
+	for _, tc := range cases {
+		_, err := lp.ParseMPS(strings.NewReader(tc.src))
+		if err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+			continue
+		}
+		if !errors.As(err, tc.want) {
+			t.Errorf("%s: error %v has wrong type (want %T)", tc.name, err, tc.want)
+		}
+	}
+}

@@ -151,7 +151,7 @@ func newRevised(p *Problem) *revised {
 		banned:    make([]bool, n),
 		d:         make([]float64, n),
 		alpha:     make([]float64, n),
-		maxIter:   200 * (m + n + 10),
+		maxIter:   iterCap(p.MaxIter, m, n),
 		scratch:   make([]float64, m),
 		yScratch:  make([]float64, m),
 		cbScratch: make([]float64, m),

@@ -152,6 +152,108 @@ type Basis struct {
 	status            []varStatus
 }
 
+// BasisVarStatus is the exported view of a simplex variable's position in a
+// Basis: resting at its lower bound, resting at its upper bound, or basic.
+type BasisVarStatus int8
+
+const (
+	// BasisAtLower marks a nonbasic variable at its lower bound.
+	BasisAtLower BasisVarStatus = BasisVarStatus(atLower)
+	// BasisAtUpper marks a nonbasic variable at its upper bound.
+	BasisAtUpper BasisVarStatus = BasisVarStatus(atUpper)
+	// BasisBasic marks a basic variable.
+	BasisBasic BasisVarStatus = BasisVarStatus(basic)
+)
+
+// SlackColumns returns, for each row, the equality-form column index of its
+// slack variable, or -1 for EQ rows (which have none). This is the column
+// convention shared by the solvers and Basis: structural variables occupy
+// columns 0..numStruct-1, slacks are assigned to non-EQ rows in row order
+// starting at numStruct, and the artificial of row i is numReal+i where
+// numReal = numStruct + (number of non-EQ rows).
+func SlackColumns(senses []Sense, numStruct int) []int {
+	slackOf := make([]int, len(senses))
+	next := numStruct
+	for i, s := range senses {
+		if s == EQ {
+			slackOf[i] = -1
+		} else {
+			slackOf[i] = next
+			next++
+		}
+	}
+	return slackOf
+}
+
+// Dims returns the basis shape: constraint rows, structural columns, and
+// real (structural + slack) columns. Artificial columns are numReal..
+// numReal+m-1, with the artificial of row i at numReal+i.
+func (b *Basis) Dims() (m, numStruct, numReal int) {
+	return b.m, b.nStruct, b.nReal
+}
+
+// Export returns the basis contents in the equality-form column convention
+// documented on SlackColumns: basicByRow[i] is the column basic in row i
+// (possibly an artificial >= numReal for a redundant row), and nonbasic[j]
+// is the resting status of every real column j < numReal. Both slices are
+// fresh copies.
+func (b *Basis) Export() (basicByRow []int, nonbasic []BasisVarStatus) {
+	basicByRow = append([]int(nil), b.cols...)
+	nonbasic = make([]BasisVarStatus, len(b.status))
+	for j, st := range b.status {
+		nonbasic[j] = BasisVarStatus(st)
+	}
+	return basicByRow, nonbasic
+}
+
+// NewBasis assembles a Basis from explicit contents, the inverse of Export:
+// senses give the row senses of the target problem (fixing the slack-column
+// layout per SlackColumns), basicByRow names the column basic in each row,
+// and nonbasic gives the resting status of every real column (entries for
+// basic columns are ignored). It validates shape and duplicates only;
+// numerical fitness (nonsingularity, primal feasibility) is checked when the
+// basis is installed, where a failure falls back to a cold start.
+func NewBasis(senses []Sense, numStruct int, basicByRow []int, nonbasic []BasisVarStatus) (*Basis, error) {
+	m := len(senses)
+	if len(basicByRow) != m {
+		return nil, fmt.Errorf("lp: NewBasis: %d basic columns for %d rows", len(basicByRow), m)
+	}
+	nSlack := 0
+	for _, s := range senses {
+		if s != EQ {
+			nSlack++
+		}
+	}
+	nReal := numStruct + nSlack
+	if len(nonbasic) != nReal {
+		return nil, fmt.Errorf("lp: NewBasis: %d statuses for %d real columns", len(nonbasic), nReal)
+	}
+	b := &Basis{
+		m: m, nStruct: numStruct, nReal: nReal,
+		cols:   append([]int(nil), basicByRow...),
+		status: make([]varStatus, nReal),
+	}
+	for j, st := range nonbasic {
+		switch st {
+		case BasisAtLower, BasisAtUpper, BasisBasic:
+			b.status[j] = varStatus(st)
+		default:
+			return nil, fmt.Errorf("lp: NewBasis: invalid status %d for column %d", st, j)
+		}
+	}
+	seen := make(map[int]bool, m)
+	for i, col := range basicByRow {
+		if col < 0 || col >= nReal+m || seen[col] {
+			return nil, fmt.Errorf("lp: NewBasis: invalid or duplicate basic column %d in row %d", col, i)
+		}
+		seen[col] = true
+		if col < nReal {
+			b.status[col] = basic
+		}
+	}
+	return b, nil
+}
+
 // captureBasis snapshots the solver's current basis.
 func (rv *revised) captureBasis() *Basis {
 	return &Basis{
@@ -233,6 +335,10 @@ func SolveSparse(p *Problem) (*Solution, error) {
 // simplex phases collapse into a refactorization plus the few pivots the
 // perturbation requires; otherwise the solver falls back to a cold start, so
 // a stale or mismatched basis costs only the failed feasibility check.
+//
+// When the iteration cap (Problem.MaxIter, or the automatic cap) is hit the
+// returned error wraps ErrIterLimit and the Solution — still returned —
+// carries Status == IterLimit plus the iteration count.
 func SolveSparseWarm(p *Problem, warm *Basis) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -240,5 +346,8 @@ func SolveSparseWarm(p *Problem, warm *Basis) (*Solution, error) {
 	q, lower := p.shiftLower()
 	sol := runRevised(q, warm)
 	unshiftSolution(sol, p.Obj, lower)
+	if sol.Status == IterLimit {
+		return sol, fmt.Errorf("%w (after %d iterations)", ErrIterLimit, sol.Iters)
+	}
 	return sol, nil
 }

@@ -1,0 +1,28 @@
+* Beale's cycling example: Dantzig's rule cycles forever from the all-slack
+* basis without an anti-cycling safeguard. Optimum (min) = -0.05 at
+* (0.04, 0, 1, 0).
+NAME          BEALE
+OBJSENSE
+    MIN
+ROWS
+ N  COST
+ L  R1
+ L  R2
+ L  R3
+COLUMNS
+    X1        COST      -0.75
+    X1        R1        0.25
+    X1        R2        0.5
+    X2        COST      150
+    X2        R1        -60
+    X2        R2        -90
+    X3        COST      -0.02
+    X3        R1        -0.04
+    X3        R2        -0.02
+    X3        R3        1
+    X4        COST      6
+    X4        R1        9
+    X4        R2        3
+RHS
+    RHS       R3        1
+ENDATA

@@ -1,0 +1,20 @@
+* Bounds exercise: negative lower bound, finite range, and a fixed
+* negative variable. Optimum (min) = -7 at (-5, -2).
+NAME          BNDTEST
+OBJSENSE
+    MIN
+ROWS
+ N  COST
+ G  FLOOR
+COLUMNS
+    X1        COST      1
+    X1        FLOOR     1
+    X2        COST      1
+    X2        FLOOR     1
+RHS
+    RHS       FLOOR     -10
+BOUNDS
+ LO BND       X1        -5
+ UP BND       X1        3
+ FX BND       X2        -2
+ENDATA

@@ -1,0 +1,27 @@
+* Degenerate instance exercising presolve: X4 is fixed at 0 (dropping it
+* from the equality), X3 is an empty column declared through a zero
+* objective entry, and the inequality is tight with zero slack at the
+* optimum. Optimum (max) = 2 at (1, 0, 0, 0).
+NAME          DEGEN
+OBJSENSE
+    MAX
+ROWS
+ N  OBJ
+ E  BAL
+ L  SKEW
+COLUMNS
+    X1        OBJ       2
+    X1        BAL       1
+    X1        SKEW      1
+    X2        OBJ       1
+    X2        BAL       1
+    X2        SKEW      -1
+    X3        OBJ       0
+    X4        BAL       1
+RHS
+    RHS       BAL       1
+    RHS       SKEW      1
+BOUNDS
+ UP BND       X3        5
+ FX BND       X4        0
+ENDATA

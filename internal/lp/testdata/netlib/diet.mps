@@ -1,0 +1,20 @@
+* Two-food diet problem with covering (>=) rows. Optimum (min) = 7 at
+* (2, 1), where both nutrient constraints are tight.
+NAME          DIET
+OBJSENSE
+    MIN
+ROWS
+ N  COST
+ G  NUT1
+ G  NUT2
+COLUMNS
+    FOOD1     COST      2
+    FOOD1     NUT1      1
+    FOOD1     NUT2      2
+    FOOD2     COST      3
+    FOOD2     NUT1      2
+    FOOD2     NUT2      1
+RHS
+    RHS       NUT1      4
+    RHS       NUT2      5
+ENDATA

@@ -1,0 +1,25 @@
+* Klee-Minty cube, n=3: Dantzig pricing visits an exponential number of
+* vertices on this family. Optimum (max) = 10000 at (0, 0, 10000).
+NAME          KLEE3
+OBJSENSE
+    MAX
+ROWS
+ N  PROFIT
+ L  C1
+ L  C2
+ L  C3
+COLUMNS
+    X1        PROFIT    100
+    X1        C1        1
+    X1        C2        20
+    X1        C3        200
+    X2        PROFIT    10
+    X2        C2        1
+    X2        C3        20
+    X3        PROFIT    1
+    X3        C3        1
+RHS
+    RHS       C1        1
+    RHS       C2        100
+    RHS       C3        10000
+ENDATA

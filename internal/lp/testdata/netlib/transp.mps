@@ -1,0 +1,39 @@
+* Balanced 2x3 transportation problem: supplies (20, 30), demands
+* (15, 25, 10), plant-2 lanes each cost one less than plant-1, so every
+* feasible plan costs sum(d_j * c2j) + 20 = 210. Optimum (min) = 210.
+NAME          TRANSP
+OBJSENSE
+    MIN
+ROWS
+ N  COST
+ E  SUP1
+ E  SUP2
+ E  DEM1
+ E  DEM2
+ E  DEM3
+COLUMNS
+    X11       COST      3
+    X11       SUP1      1
+    X11       DEM1      1
+    X12       COST      5
+    X12       SUP1      1
+    X12       DEM2      1
+    X13       COST      7
+    X13       SUP1      1
+    X13       DEM3      1
+    X21       COST      2
+    X21       SUP2      1
+    X21       DEM1      1
+    X22       COST      4
+    X22       SUP2      1
+    X22       DEM2      1
+    X23       COST      6
+    X23       SUP2      1
+    X23       DEM3      1
+RHS
+    RHS       SUP1      20
+    RHS       SUP2      30
+    RHS       DEM1      15
+    RHS       DEM2      25
+    RHS       DEM3      10
+ENDATA

@@ -13,6 +13,7 @@ import (
 
 	"vmalloc/internal/heapx"
 	"vmalloc/internal/lp"
+	"vmalloc/internal/presolve"
 )
 
 // Problem is an LP plus a set of variables restricted to {0, 1}.
@@ -78,6 +79,14 @@ type Options struct {
 	// parent's optimal basis (the solver falls back to a cold start when
 	// the stale basis no longer fits).
 	DisableWarmStart bool
+	// DisablePresolve turns off per-node presolve. By default every node
+	// LP is reduced before the simplex runs: branched binaries are fixed
+	// purely by bound shrinking, so presolve's fixed-column and forcing-row
+	// rules cascade (a placement fixed to 1 zeroes its siblings, which
+	// empties their linked rows) and child nodes presolve smaller every
+	// level down the tree. Integrality marks let presolve prune nodes whose
+	// reductions force a binary to a fractional value.
+	DisablePresolve bool
 }
 
 type node struct {
@@ -128,6 +137,14 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 	if base.Cols == nil {
 		base = *base.Sparsify()
 	}
+	var solver lp.Backend = lp.Simplex{}
+	if !opts.DisablePresolve {
+		integral := make([]bool, base.NumVars())
+		for _, j := range p.Binary {
+			integral[j] = true
+		}
+		solver = presolve.Backend{Opts: &presolve.Options{Integral: integral}}
+	}
 
 	sol := &Solution{Status: NodeLimit, Objective: math.Inf(-1), Bound: math.Inf(1)}
 	q := newNodeQueue()
@@ -149,9 +166,12 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 			sol.Bound = nd.bound
 			return sol, nil
 		}
-		rel, err := solveRelaxation(&base, nd)
+		rel, err := solveRelaxation(solver, &base, nd)
 		sol.Nodes++
 		if err != nil {
+			if errors.Is(err, lp.ErrIterLimit) {
+				return nil, fmt.Errorf("milp: branch-and-bound node hit the simplex cap: %w", err)
+			}
 			return nil, err
 		}
 		switch rel.Status {
@@ -159,8 +179,6 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 			continue
 		case lp.Unbounded:
 			return nil, errors.New("milp: relaxation unbounded; bound the binary problem")
-		case lp.IterLimit:
-			return nil, errors.New("milp: simplex iteration limit inside branch and bound")
 		}
 		if rel.Objective <= sol.Objective+1e-12 && sol.HasIncumbent {
 			continue
@@ -194,11 +212,14 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 	return sol, nil
 }
 
-// solveRelaxation solves the node LP: the base problem with branched
-// binaries fixed purely through bound changes (0 via Upper, 1 via
-// Lower+Upper), so every node shares the base constraint matrix and the
-// parent basis can warm-start the child.
-func solveRelaxation(base *lp.Problem, nd *node) (*lp.Solution, error) {
+// solveRelaxation solves the node LP through the configured backend: the
+// base problem with branched binaries fixed purely through bound changes (0
+// via Upper, 1 via Lower+Upper), so every node shares the base constraint
+// matrix. With presolve enabled the bound fixings happen before reduction,
+// so each level's fixings shrink the child's reduced model further; the
+// warm token then only installs when parent and child reduce to the same
+// shape, and costs a cheap cold fallback otherwise.
+func solveRelaxation(solver lp.Backend, base *lp.Problem, nd *node) (*lp.Solution, error) {
 	q := *base
 	// Copy bounds so fixings do not leak across nodes.
 	upper := make([]float64, base.NumVars())
@@ -228,7 +249,7 @@ func solveRelaxation(base *lp.Problem, nd *node) (*lp.Solution, error) {
 		}
 		q.Lower = lower
 	}
-	return lp.SolveSparseWarm(&q, nd.warm)
+	return solver.SolveWarm(&q, nd.warm)
 }
 
 // pickBranchVar returns the most fractional binary variable, or -1 if all

@@ -1,0 +1,69 @@
+// Backend wraps any lp.Backend with the reduction pipeline, making
+// presolve+solve+postsolve a drop-in solver for relax, hvp's LPBOUND
+// bracket, and exp.LPRoster. The warm-basis token it hands out is the
+// REDUCED model's basis: re-solving the identical problem reduces
+// identically, so the token installs directly on the next reduced solve —
+// which is exactly the RRND-then-RRNZ roster pattern. A token from a
+// differently-shaped problem fails the install shape check inside the inner
+// solver and costs only a cold start. Use Reduce/Postsolve directly when
+// the full-space basis is needed instead.
+
+package presolve
+
+import "vmalloc/internal/lp"
+
+// Backend is a presolving lp.Backend. The zero value wraps the in-tree
+// sparse simplex.
+type Backend struct {
+	// Inner solves the reduced models; nil means lp.Simplex.
+	Inner lp.Backend
+	// Opts configures every reduction (nil = defaults).
+	Opts *Options
+}
+
+func init() {
+	lp.MustRegister(Backend{})
+}
+
+func (b Backend) inner() lp.Backend {
+	if b.Inner == nil {
+		return lp.Simplex{}
+	}
+	return b.Inner
+}
+
+// Name implements lp.Backend.
+func (b Backend) Name() string { return "presolve+" + b.inner().Name() }
+
+// Solve implements lp.Backend.
+func (b Backend) Solve(p *lp.Problem) (*lp.Solution, error) { return b.SolveWarm(p, nil) }
+
+// SolveWarm implements lp.Backend: reduce, solve the reduced model (warm
+// when the token fits), postsolve the primal, and return the reduced basis
+// as the next warm token.
+func (b Backend) SolveWarm(p *lp.Problem, warm *lp.Basis) (*lp.Solution, error) {
+	red, err := Reduce(p, b.Opts)
+	if err != nil {
+		return nil, err
+	}
+	switch red.Outcome() {
+	case Infeasible:
+		return &lp.Solution{Status: lp.Infeasible}, nil
+	case Unbounded:
+		return &lp.Solution{Status: lp.Unbounded}, nil
+	case Solved:
+		return red.Postsolve(nil)
+	}
+	sol, err := b.inner().SolveWarm(red.Problem(), warm)
+	if err != nil {
+		return sol, err
+	}
+	full, err := red.Postsolve(sol)
+	if err != nil {
+		return nil, err
+	}
+	// Hand the reduced basis back as the warm token; the full-space basis
+	// reconstruction is reachable via explicit Reduce+Postsolve.
+	full.Basis = sol.Basis
+	return full, nil
+}

@@ -1,0 +1,496 @@
+package presolve_test
+
+import (
+	"math"
+	"testing"
+
+	"vmalloc/internal/lp"
+	"vmalloc/internal/milp"
+	"vmalloc/internal/presolve"
+	"vmalloc/internal/relax"
+	"vmalloc/internal/workload"
+)
+
+// solveBoth solves p unreduced and through the presolving backend and
+// returns both solutions.
+func solveBoth(t *testing.T, p *lp.Problem) (raw, pre *lp.Solution) {
+	t.Helper()
+	raw, err := lp.SolveSparse(p)
+	if err != nil {
+		t.Fatalf("raw solve: %v", err)
+	}
+	pre, err = presolve.Backend{}.Solve(p)
+	if err != nil {
+		t.Fatalf("presolved solve: %v", err)
+	}
+	if raw.Status != pre.Status {
+		t.Fatalf("status mismatch: raw %v, presolved %v", raw.Status, pre.Status)
+	}
+	return raw, pre
+}
+
+// checkEquivalent asserts objective agreement to 1e-9 (relative) and that
+// the presolved primal is feasible for the original problem.
+func checkEquivalent(t *testing.T, p *lp.Problem, raw, pre *lp.Solution) {
+	t.Helper()
+	if raw.Status != lp.Optimal {
+		return
+	}
+	scale := 1 + math.Abs(raw.Objective)
+	if d := math.Abs(raw.Objective - pre.Objective); d > 1e-9*scale {
+		t.Fatalf("objective mismatch: raw %.15g, presolved %.15g (diff %g)", raw.Objective, pre.Objective, d)
+	}
+	checkFeasible(t, p, pre.X)
+	// The reported objective must be the objective of the reported point.
+	obj := 0.0
+	for j, c := range p.Obj {
+		obj += c * pre.X[j]
+	}
+	if d := math.Abs(obj - pre.Objective); d > 1e-9*scale {
+		t.Fatalf("objective inconsistent with X: %.15g vs %.15g", obj, pre.Objective)
+	}
+}
+
+func checkFeasible(t *testing.T, p *lp.Problem, x []float64) {
+	t.Helper()
+	if len(x) != p.NumVars() {
+		t.Fatalf("solution has %d vars, want %d", len(x), p.NumVars())
+	}
+	const tol = 1e-6
+	for j, v := range x {
+		l, u := 0.0, math.Inf(1)
+		if p.Lower != nil {
+			l = p.Lower[j]
+		}
+		if p.Upper != nil {
+			u = p.Upper[j]
+		}
+		if v < l-tol || v > u+tol {
+			t.Fatalf("x[%d]=%g outside [%g,%g]", j, v, l, u)
+		}
+	}
+	a := p.A
+	if p.Cols != nil {
+		a = p.Cols.Dense()
+	}
+	for i, row := range a {
+		lhs := 0.0
+		for j, c := range row {
+			lhs += c * x[j]
+		}
+		scale := 1 + math.Abs(p.B[i])
+		switch p.Sense[i] {
+		case lp.LE:
+			if lhs > p.B[i]+tol*scale {
+				t.Fatalf("row %d violated: %g <= %g", i, lhs, p.B[i])
+			}
+		case lp.GE:
+			if lhs < p.B[i]-tol*scale {
+				t.Fatalf("row %d violated: %g >= %g", i, lhs, p.B[i])
+			}
+		case lp.EQ:
+			if math.Abs(lhs-p.B[i]) > tol*scale {
+				t.Fatalf("row %d violated: %g == %g", i, lhs, p.B[i])
+			}
+		}
+	}
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// TestRuleFixedAndEmpty exercises fixed variables (equal bounds), empty
+// columns, and empty rows in one model.
+func TestRuleFixedAndEmpty(t *testing.T) {
+	// max 2a + b + 3c: a free-ish in [0,4] unconstrained (empty col),
+	// b fixed at 2, c in a real constraint; plus a vacuous 0 <= 5 row.
+	p := &lp.Problem{
+		Obj:   []float64{2, 1, 3},
+		A:     [][]float64{{0, 1, 1}, {0, 0, 0}},
+		Sense: []lp.Sense{lp.LE, lp.LE},
+		B:     []float64{5, 5},
+		Lower: []float64{0, 2, 0},
+		Upper: []float64{4, 2, 10},
+	}
+	red, err := presolve.Reduce(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Outcome() != presolve.Solved {
+		t.Fatalf("outcome %v, want Solved (everything removable)", red.Outcome())
+	}
+	full, err := red.Postsolve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a=4 (empty col at preferred bound), b=2 (fixed), c=3 (singleton row
+	// bound b+c<=5 after b substituted).
+	want := []float64{4, 2, 3}
+	for j, w := range want {
+		if math.Abs(full.X[j]-w) > 1e-9 {
+			t.Fatalf("x[%d]=%g, want %g", j, full.X[j], w)
+		}
+	}
+	raw, err := lp.SolveSparse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full.Objective-raw.Objective) > 1e-9 {
+		t.Fatalf("objective %g, want %g", full.Objective, raw.Objective)
+	}
+	if full.Basis == nil {
+		t.Fatal("Solved outcome should reconstruct a basis")
+	}
+	warm, err := lp.SolveSparseWarm(p, full.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStarted || warm.Status != lp.Optimal {
+		t.Fatalf("reconstructed basis rejected: warm=%v status=%v", warm.WarmStarted, warm.Status)
+	}
+}
+
+// TestRuleSingletonRow checks singleton rows become bound tightenings in
+// every sense/sign combination.
+func TestRuleSingletonRow(t *testing.T) {
+	p := &lp.Problem{
+		Obj: []float64{1, 1, -1, 1},
+		A: [][]float64{
+			{2, 0, 0, 0},  // 2a <= 6  -> a <= 3
+			{0, -1, 0, 0}, // -b <= -1 -> b >= 1
+			{0, 0, 3, 0},  // 3c = 6   -> c = 2
+			{0, 0, 0, 1},  // d >= 0.5
+			{1, 1, 1, 1},  // keeps the model nontrivial
+		},
+		Sense: []lp.Sense{lp.LE, lp.LE, lp.EQ, lp.GE, lp.LE},
+		B:     []float64{6, -1, 6, 0.5, 7},
+		Upper: []float64{10, 10, 10, 10},
+	}
+	raw, pre := solveBoth(t, p)
+	checkEquivalent(t, p, raw, pre)
+	red, err := presolve.Reduce(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := red.Stats(); s.DroppedRows < 4 {
+		t.Fatalf("expected >=4 dropped singleton rows, got stats %+v", s)
+	}
+}
+
+// TestRuleRedundantAndForcing checks redundant rows are dropped and forcing
+// rows fix their variables.
+func TestRuleRedundantAndForcing(t *testing.T) {
+	p := &lp.Problem{
+		Obj: []float64{1, 2, 5},
+		A: [][]float64{
+			{1, 1, 0}, // a+b <= 100: redundant (max activity 2)
+			{1, 1, 0}, // a+b >= 0: redundant (min activity 0)
+			{0, 1, 1}, // b+c <= 0: forcing (min activity 0) -> b=c=0
+		},
+		Sense: []lp.Sense{lp.LE, lp.GE, lp.LE},
+		B:     []float64{100, 0, 0},
+		Upper: []float64{1, 1, 1},
+	}
+	red, err := presolve.Reduce(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Outcome() != presolve.Solved {
+		t.Fatalf("outcome %v, want Solved", red.Outcome())
+	}
+	full, err := red.Postsolve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0, 0}
+	for j, w := range want {
+		if math.Abs(full.X[j]-w) > 1e-12 {
+			t.Fatalf("x[%d]=%g, want %g", j, full.X[j], w)
+		}
+	}
+}
+
+// TestRuleSubstitution checks equality substitution: a singleton column in
+// an equality row (zero fill) and a general substitution whose host row
+// survives as an inequality.
+func TestRuleSubstitution(t *testing.T) {
+	// max x + y + 10f subject to f + x + y = 1.5 (f in [0,10] appears only
+	// here and is NOT implied free: f = 1.5-x-y in [-0.5, 1.5] exceeds
+	// [0,10] below), x + 2y <= 2.
+	p := &lp.Problem{
+		Obj:   []float64{1, 1, 10},
+		A:     [][]float64{{1, 1, 1}, {1, 2, 0}},
+		Sense: []lp.Sense{lp.EQ, lp.LE},
+		B:     []float64{1.5, 2},
+		Upper: []float64{1, 1, 10},
+	}
+	raw, pre := solveBoth(t, p)
+	checkEquivalent(t, p, raw, pre)
+	red, err := presolve.Reduce(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := red.Stats(); s.SubstCols == 0 {
+		t.Fatalf("expected a substitution, got stats %+v", s)
+	}
+}
+
+// TestRuleBoundPropagation checks iterated propagation reaches a fixpoint
+// across chained rows.
+func TestRuleBoundPropagation(t *testing.T) {
+	// x <= y/2 (via 2x - y <= 0 with y <= 1 -> x <= 0.5), then y <= z/2
+	// similarly; propagation must chain z's bound through y into x.
+	p := &lp.Problem{
+		Obj:   []float64{1, 0, 0},
+		A:     [][]float64{{2, -1, 0}, {0, 2, -1}},
+		Sense: []lp.Sense{lp.LE, lp.LE},
+		B:     []float64{0, 0},
+		Upper: []float64{100, 100, 1},
+	}
+	raw, pre := solveBoth(t, p)
+	checkEquivalent(t, p, raw, pre)
+	if math.Abs(pre.Objective-0.25) > 1e-9 {
+		t.Fatalf("objective %g, want 0.25", pre.Objective)
+	}
+}
+
+// TestInfeasibleDetection checks presolve proves infeasibility without a
+// simplex call.
+func TestInfeasibleDetection(t *testing.T) {
+	p := &lp.Problem{
+		Obj:   []float64{1, 1},
+		A:     [][]float64{{1, 1}},
+		Sense: []lp.Sense{lp.GE},
+		B:     []float64{5},
+		Upper: []float64{1, 1},
+	}
+	red, err := presolve.Reduce(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Outcome() != presolve.Infeasible {
+		t.Fatalf("outcome %v, want Infeasible", red.Outcome())
+	}
+	sol, err := presolve.Backend{}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Infeasible {
+		t.Fatalf("status %v, want Infeasible", sol.Status)
+	}
+}
+
+// TestUnboundedDetection checks an empty improving column with no upper
+// bound is reported unbounded.
+func TestUnboundedDetection(t *testing.T) {
+	p := &lp.Problem{
+		Obj:   []float64{1, 1},
+		A:     [][]float64{{1, 0}},
+		Sense: []lp.Sense{lp.LE},
+		B:     []float64{1},
+		Upper: []float64{1, inf()},
+	}
+	red, err := presolve.Reduce(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Outcome() != presolve.Unbounded {
+		t.Fatalf("outcome %v, want Unbounded", red.Outcome())
+	}
+}
+
+// TestIntegralFractionalFix checks a reduction that forces an integral
+// variable to a fractional value prunes the node as infeasible.
+func TestIntegralFractionalFix(t *testing.T) {
+	p := &lp.Problem{
+		Obj:   []float64{1},
+		A:     [][]float64{{2}},
+		Sense: []lp.Sense{lp.EQ},
+		B:     []float64{1}, // x = 0.5
+		Upper: []float64{1},
+	}
+	red, err := presolve.Reduce(p, &presolve.Options{Integral: []bool{true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Outcome() != presolve.Infeasible {
+		t.Fatalf("outcome %v, want Infeasible (fractional forced binary)", red.Outcome())
+	}
+	// Without the mark the same model is feasible.
+	red, err = presolve.Reduce(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Outcome() == presolve.Infeasible {
+		t.Fatal("continuous relaxation wrongly infeasible")
+	}
+}
+
+// parkScenarios returns 100+ varied park instances: the S4 equivalence
+// corpus.
+func parkScenarios() []workload.Scenario {
+	var scns []workload.Scenario
+	for _, hosts := range []int{2, 3, 5} {
+		for _, services := range []int{4, 8, 16} {
+			for _, cov := range []float64{0, 0.5, 1.0} {
+				for _, slack := range []float64{0.3, 0.7} {
+					for seed := int64(1); seed <= 2; seed++ {
+						scns = append(scns, workload.Scenario{
+							Hosts: hosts, Services: services,
+							COV: cov, Slack: slack, Seed: seed,
+						})
+					}
+				}
+			}
+		}
+	}
+	return scns // 3*3*3*2*2 = 108 instances
+}
+
+// TestEquivalenceRandomParks is the headline equivalence gate: across 100+
+// random park relaxations the reduced-model objective and reconstructed
+// primal must match the unreduced solve to 1e-9, and the reconstructed
+// full-space basis must warm-start the unreduced model.
+func TestEquivalenceRandomParks(t *testing.T) {
+	scns := parkScenarios()
+	if len(scns) < 100 {
+		t.Fatalf("corpus too small: %d instances", len(scns))
+	}
+	basisOK := 0
+	for _, scn := range scns {
+		p := workload.Generate(scn)
+		enc := relax.Encode(p)
+		raw, pre := solveBoth(t, enc.LP)
+		checkEquivalent(t, enc.LP, raw, pre)
+		if raw.Status != lp.Optimal {
+			continue
+		}
+
+		// Full-space basis reconstruction through the explicit API.
+		red, err := presolve.Reduce(enc.LP, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", scn, err)
+		}
+		if red.Outcome() != presolve.Reduced {
+			t.Fatalf("%v: outcome %v", scn, red.Outcome())
+		}
+		if s := red.Stats(); s.RowsAfter >= s.RowsBefore && s.ColsAfter >= s.ColsBefore {
+			t.Errorf("%v: presolve removed nothing: %+v", scn, s)
+		}
+		rsol, err := lp.SolveSparse(red.Problem())
+		if err != nil {
+			t.Fatalf("%v: reduced solve: %v", scn, err)
+		}
+		full, err := red.Postsolve(rsol)
+		if err != nil {
+			t.Fatalf("%v: postsolve: %v", scn, err)
+		}
+		scale := 1 + math.Abs(raw.Objective)
+		if d := math.Abs(full.Objective - raw.Objective); d > 1e-9*scale {
+			t.Fatalf("%v: postsolved objective %.15g vs raw %.15g", scn, full.Objective, raw.Objective)
+		}
+		if full.Basis != nil {
+			warm, err := lp.SolveSparseWarm(enc.LP, full.Basis)
+			if err != nil {
+				t.Fatalf("%v: warm from reconstructed basis: %v", scn, err)
+			}
+			if warm.Status != lp.Optimal {
+				t.Fatalf("%v: warm status %v", scn, warm.Status)
+			}
+			if d := math.Abs(warm.Objective - raw.Objective); d > 1e-9*scale {
+				t.Fatalf("%v: warm objective drifted: %.15g vs %.15g", scn, warm.Objective, raw.Objective)
+			}
+			if warm.WarmStarted {
+				basisOK++
+			}
+		}
+	}
+	// The reconstruction must be usable in the common case, not just a
+	// permanent cold-start fallback.
+	if basisOK < len(scns)/2 {
+		t.Fatalf("reconstructed full basis installed on only %d/%d instances", basisOK, len(scns))
+	}
+	t.Logf("full-space basis installed warm on %d/%d instances", basisOK, len(scns))
+}
+
+// TestEquivalenceUnderMILP proves branch and bound with per-node presolve
+// (and warm starts) matches the non-presolved search exactly.
+func TestEquivalenceUnderMILP(t *testing.T) {
+	count := 0
+	for _, hosts := range []int{2, 3} {
+		for _, services := range []int{4, 6} {
+			for seed := int64(1); seed <= 3; seed++ {
+				scn := workload.Scenario{Hosts: hosts, Services: services, COV: 0.5, Slack: 0.5, Seed: seed}
+				p := workload.Generate(scn)
+				enc := relax.Encode(p)
+				var bins []int
+				for j := 0; j < enc.J; j++ {
+					for h := 0; h < enc.H; h++ {
+						bins = append(bins, enc.EVar(j, h))
+					}
+				}
+				mp := &milp.Problem{LP: *enc.LP, Binary: bins}
+				plain, err := milp.Solve(mp, &milp.Options{DisablePresolve: true})
+				if err != nil {
+					t.Fatalf("%v plain: %v", scn, err)
+				}
+				pre, err := milp.Solve(mp, nil)
+				if err != nil {
+					t.Fatalf("%v presolved: %v", scn, err)
+				}
+				if plain.Status != pre.Status || plain.HasIncumbent != pre.HasIncumbent {
+					t.Fatalf("%v: status %v/%v vs %v/%v", scn,
+						plain.Status, plain.HasIncumbent, pre.Status, pre.HasIncumbent)
+				}
+				if plain.HasIncumbent {
+					if d := math.Abs(plain.Objective - pre.Objective); d > 1e-9*(1+math.Abs(plain.Objective)) {
+						t.Fatalf("%v: MILP objective %.15g vs %.15g", scn, plain.Objective, pre.Objective)
+					}
+				}
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		t.Fatal("no MILP instances exercised")
+	}
+}
+
+// TestWarmTokenRoundTrip checks the backend's reduced-space warm token
+// installs when re-solving the identical problem (the RRND->RRNZ roster
+// pattern).
+func TestWarmTokenRoundTrip(t *testing.T) {
+	p := workload.Generate(workload.Scenario{Hosts: 4, Services: 16, COV: 0.5, Slack: 0.5, Seed: 7})
+	enc := relax.Encode(p)
+	b := presolve.Backend{}
+	cold, err := b.Solve(enc.LP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Status != lp.Optimal || cold.Basis == nil {
+		t.Fatalf("cold solve: status %v basis %v", cold.Status, cold.Basis != nil)
+	}
+	warm, err := b.SolveWarm(enc.LP, cold.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStarted {
+		t.Fatal("identical re-solve did not install the reduced warm token")
+	}
+	if warm.Iters > cold.Iters/2 {
+		t.Fatalf("warm re-solve barely cheaper: %d iters vs cold %d", warm.Iters, cold.Iters)
+	}
+	if d := math.Abs(warm.Objective - cold.Objective); d > 1e-9*(1+math.Abs(cold.Objective)) {
+		t.Fatalf("warm objective drifted: %.15g vs %.15g", warm.Objective, cold.Objective)
+	}
+}
+
+// TestBackendRegistered checks the presolving backend self-registers in the
+// lp registry.
+func TestBackendRegistered(t *testing.T) {
+	if _, ok := lp.Lookup("presolve+simplex"); !ok {
+		t.Fatalf("presolve+simplex not registered; have %v", lp.Backends())
+	}
+	if _, ok := lp.Lookup("simplex"); !ok {
+		t.Fatalf("simplex not registered; have %v", lp.Backends())
+	}
+}

@@ -9,12 +9,41 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"vmalloc/internal/core"
 	"vmalloc/internal/lp"
 	"vmalloc/internal/milp"
+	"vmalloc/internal/presolve"
 	"vmalloc/internal/vec"
 )
+
+// The relaxation solves route through a pluggable lp.Backend, by default the
+// presolving wrapper around the in-tree sparse simplex: the reduction
+// pipeline shrinks every warm-started re-solve (RRND/RRNZ rosters, LPBOUND
+// brackets) before the simplex runs.
+var (
+	backendMu sync.RWMutex
+	backend   lp.Backend = presolve.Backend{}
+)
+
+// SetBackend swaps the LP backend used by all relaxation solves and returns
+// the previous one. Safe for concurrent use; intended for experiments and
+// tests (e.g. comparing the raw simplex against the presolved path).
+func SetBackend(b lp.Backend) lp.Backend {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	prev := backend
+	backend = b
+	return prev
+}
+
+// CurrentBackend returns the backend used by relaxation solves.
+func CurrentBackend() lp.Backend {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	return backend
+}
 
 // Epsilon is the probability floor used by RRNZ (paper uses 0.01).
 const Epsilon = 0.01
@@ -95,10 +124,25 @@ func Encode(p *core.Problem) *Encoding {
 			}
 		}
 	}
-	// (6) aggregate capacities per node and dimension.
+	// (6) aggregate capacities per node and dimension. The builder already
+	// drops structurally-zero coefficients (zero-need dimensions contribute
+	// no y_jh terms); additionally skip dimensions no service demands at
+	// all, whose rows would be empty — 0 <= capacity holds vacuously.
+	hasAgg := make([]bool, D)
+	for d := 0; d < D; d++ {
+		for j := 0; j < J; j++ {
+			if p.Services[j].ReqAgg[d] != 0 || p.Services[j].NeedAgg[d] != 0 {
+				hasAgg[d] = true
+				break
+			}
+		}
+	}
 	for h := 0; h < H; h++ {
 		nd := &p.Nodes[h]
 		for d := 0; d < D; d++ {
+			if !hasAgg[d] && nd.Aggregate[d] >= 0 {
+				continue
+			}
 			for j := 0; j < J; j++ {
 				mat.Add(row, enc.EVar(j, h), p.Services[j].ReqAgg[d])
 				mat.Add(row, enc.YVar(j, h), p.Services[j].NeedAgg[d])
@@ -128,25 +172,26 @@ type Relaxed struct {
 	MinYield float64
 	// E[j][h] is the fractional placement of service j on node h.
 	E [][]float64
-	// Basis is the optimal simplex basis (nil when infeasible). Feed it to
-	// SolveRelaxedWarm when re-solving the relaxation of the same instance
-	// shape — the RRND/RRNZ roster and branch-and-bound children re-solve
-	// LPs that differ from this one only in bounds.
+	// Basis is the backend's warm-start token (nil when infeasible): with
+	// the default presolving backend it is the basis of the REDUCED model,
+	// valid for re-solving the relaxation of the identical instance (the
+	// RRND-then-RRNZ roster pattern). A token that no longer fits falls
+	// back to a cold start inside the solver.
 	Basis *lp.Basis
 }
 
-// SolveRelaxed solves the rational relaxation of the MILP for p with the
-// sparse revised simplex.
+// SolveRelaxed solves the rational relaxation of the MILP for p through the
+// configured backend (presolve + sparse revised simplex by default).
 func SolveRelaxed(p *core.Problem) (*Relaxed, error) {
 	return SolveRelaxedWarm(p, nil)
 }
 
-// SolveRelaxedWarm is SolveRelaxed warm-started from the basis of a previous
-// relaxation solve of an identically-shaped instance (a stale basis falls
+// SolveRelaxedWarm is SolveRelaxed warm-started from the basis token of a
+// previous relaxation solve of the identical instance (a stale token falls
 // back to a cold start inside the solver).
 func SolveRelaxedWarm(p *core.Problem, warm *lp.Basis) (*Relaxed, error) {
 	enc := Encode(p)
-	sol, err := lp.SolveSparseWarm(enc.LP, warm)
+	sol, err := CurrentBackend().SolveWarm(enc.LP, warm)
 	if err != nil {
 		return nil, err
 	}

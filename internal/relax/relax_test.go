@@ -313,3 +313,46 @@ func TestRelaxationSolverBackendsAgree(t *testing.T) {
 		}
 	}
 }
+
+// Encode must not store structural zeros in the CSC, and aggregate rows for
+// dimensions no service demands must be skipped entirely rather than emitted
+// empty (0 <= capacity holds vacuously and only bloats the basis).
+func TestEncodeSkipsZeroCoefficientsAndVacuousRows(t *testing.T) {
+	svc := core.Service{
+		ReqElem: vec.Of(0.2, 0.1), ReqAgg: vec.Of(0.4, 0),
+		NeedElem: vec.Of(0.3, 0.1), NeedAgg: vec.Of(0.6, 0),
+	}
+	p := &core.Problem{
+		Nodes: []core.Node{
+			{Elementary: vec.Of(0.5, 1.0), Aggregate: vec.Of(1.0, 1.0)},
+			{Elementary: vec.Of(0.5, 1.0), Aggregate: vec.Of(1.0, 1.0)},
+		},
+		Services: []core.Service{svc, svc},
+	}
+	enc := Encode(p)
+	c := enc.LP.Cols
+	for k, v := range c.Val {
+		if v == 0 {
+			t.Fatalf("stored structural zero at nnz index %d", k)
+		}
+	}
+	perRow := make([]int, c.M)
+	for k := 0; k < len(c.RowIdx); k++ {
+		perRow[c.RowIdx[k]]++
+	}
+	for i, cnt := range perRow {
+		if cnt == 0 {
+			t.Fatalf("row %d emitted empty", i)
+		}
+	}
+	// Dimension 1 has zero aggregate demand everywhere: adding demand there
+	// must grow the encoding by exactly one aggregate row per node.
+	q := *p
+	q.Services = append([]core.Service(nil), p.Services...)
+	q.Services[0].NeedAgg = vec.Of(0.6, 0.1)
+	encQ := Encode(&q)
+	if got, want := encQ.LP.NumRows(), enc.LP.NumRows()+len(p.Nodes); got != want {
+		t.Fatalf("demanding dim 1 should add %d aggregate rows: %d -> %d, want %d",
+			len(p.Nodes), enc.LP.NumRows(), got, want)
+	}
+}
