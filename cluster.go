@@ -1,11 +1,13 @@
 package vmalloc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"vmalloc/internal/engine"
+	"vmalloc/internal/obs"
 	"vmalloc/internal/vec"
 )
 
@@ -69,7 +71,22 @@ type ClusterEpoch struct {
 	IDs []int
 	// Migrations counts already-placed services that changed node.
 	Migrations int
+	// Stats carries the epoch's solver telemetry: solve wall time, the
+	// solver-tier work counters, and (for sharded clusters) the per-shard
+	// breakdown.
+	Stats *EpochStats
 }
+
+// EpochStats is the observability payload of one epoch: solve wall time,
+// aggregated solver-tier counters and the per-shard breakdown (alias of
+// internal/obs.EpochStats, the dependency-free observability seam).
+type EpochStats = obs.EpochStats
+
+// SolverStats aggregates the solver tier's per-epoch work counters:
+// presolve reductions, simplex iterations/refactorizations, warm-vs-cold
+// starts, branch-and-bound nodes and vector-packing attempts (alias of
+// internal/obs.SolverStats).
+type SolverStats = obs.SolverStats
 
 // NewCluster returns an empty cluster over the given nodes.
 func NewCluster(nodes []Node, opts *ClusterOptions) (*Cluster, error) {
@@ -236,8 +253,17 @@ func (c *Cluster) SetThreshold(th float64) error {
 // Reallocate runs one full reallocation epoch with the configured placer
 // over the estimated view, applying the new placement and counting
 // migrations. On failure the previous placement is kept.
-func (c *Cluster) Reallocate() *ClusterEpoch {
+func (c *Cluster) Reallocate() *ClusterEpoch { return c.ReallocateCtx(context.Background()) }
+
+// ReallocateCtx is Reallocate under a tracing context: when ctx carries an
+// obs span the epoch's solve runs under a child span. The placement
+// trajectory is identical to Reallocate.
+func (c *Cluster) ReallocateCtx(ctx context.Context) *ClusterEpoch {
+	sp := obs.SpanFromContext(ctx).StartChild("epoch")
 	ce := clusterEpoch(c.eng.Reallocate())
+	sp.SetInt("services", int64(len(ce.IDs)))
+	sp.SetInt("migrations", int64(ce.Migrations))
+	sp.End()
 	c.emitEpoch(ce, false, 0)
 	return ce
 }
@@ -247,7 +273,16 @@ func (c *Cluster) Reallocate() *ClusterEpoch {
 // and at most budget previously-placed services move (negative =
 // unlimited), followed by budget-aware local search.
 func (c *Cluster) Repair(budget int) *ClusterEpoch {
+	return c.RepairCtx(context.Background(), budget)
+}
+
+// RepairCtx is Repair under a tracing context; see ReallocateCtx.
+func (c *Cluster) RepairCtx(ctx context.Context, budget int) *ClusterEpoch {
+	sp := obs.SpanFromContext(ctx).StartChild("epoch")
 	ce := clusterEpoch(c.eng.Repair(budget))
+	sp.SetInt("services", int64(len(ce.IDs)))
+	sp.SetInt("migrations", int64(ce.Migrations))
+	sp.End()
 	c.emitEpoch(ce, true, budget)
 	return ce
 }
@@ -286,5 +321,6 @@ func clusterEpoch(rep *engine.EpochReport) *ClusterEpoch {
 		Result:     rep.Result,
 		IDs:        append([]int(nil), rep.IDs...),
 		Migrations: rep.Migrations,
+		Stats:      &EpochStats{SolveNs: rep.SolveNs, Solver: rep.Solver},
 	}
 }

@@ -26,6 +26,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -35,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,18 +46,19 @@ import (
 )
 
 type config struct {
-	addr     string
-	rate     float64 // requests/sec; 0 = closed loop
-	duration time.Duration
-	conns    int
-	batch    int
-	mixAdd   int
-	mixRem   int
-	mixUpd   int
-	cpu      float64
-	need     float64
-	seed     int64
-	retries  int
+	addr       string
+	rate       float64 // requests/sec; 0 = closed loop
+	duration   time.Duration
+	conns      int
+	batch      int
+	mixAdd     int
+	mixRem     int
+	mixUpd     int
+	cpu        float64
+	need       float64
+	seed       int64
+	retries    int
+	metricsURL string
 }
 
 // Counts are the request and per-service outcome totals of one pass.
@@ -84,17 +87,35 @@ type Latency struct {
 
 // Report is the JSON result of one pass.
 type Report struct {
-	Addr        string  `json:"addr"`
-	Mode        string  `json:"mode"` // "open" or "closed"
-	RateRPS     float64 `json:"offered_rps,omitempty"`
-	DurationSec float64 `json:"duration_sec"`
-	Conns       int     `json:"conns"`
-	Batch       int     `json:"batch"`
-	Mix         string  `json:"mix"`
-	Counts      Counts  `json:"counts"`
-	AchievedRPS float64 `json:"achieved_rps"`
-	AdmittedPS  float64 `json:"admitted_per_sec"`
-	Latency     Latency `json:"latency"`
+	Addr        string        `json:"addr"`
+	Mode        string        `json:"mode"` // "open" or "closed"
+	RateRPS     float64       `json:"offered_rps,omitempty"`
+	DurationSec float64       `json:"duration_sec"`
+	Conns       int           `json:"conns"`
+	Batch       int           `json:"batch"`
+	Mix         string        `json:"mix"`
+	Counts      Counts        `json:"counts"`
+	AchievedRPS float64       `json:"achieved_rps"`
+	AdmittedPS  float64       `json:"admitted_per_sec"`
+	Latency     Latency       `json:"latency"`
+	Metrics     *MetricsDelta `json:"metrics,omitempty"`
+}
+
+// MetricsDelta is the server-side counter movement over one pass, from
+// scraping -metrics-url before and after. It pairs the client's view
+// (admissions/sec, latency) with the server's (fsync amortization, epochs,
+// admission counters): RecordsPerFsync is the group-commit batching factor
+// actually achieved under this load.
+type MetricsDelta struct {
+	HTTPRequests     float64 `json:"http_requests"`
+	Admissions       float64 `json:"admissions"`
+	AdmissionBatches float64 `json:"admission_batches"`
+	JournalRecords   float64 `json:"journal_records"`
+	JournalFsyncs    float64 `json:"journal_fsyncs"`
+	RecordsPerFsync  float64 `json:"records_per_fsync,omitempty"`
+	Epochs           float64 `json:"epochs"`
+	FailedEpochs     float64 `json:"failed_epochs"`
+	TracesStarted    float64 `json:"traces_started"`
 }
 
 // CompareReport is the -compare output: single vs batched admission.
@@ -122,6 +143,7 @@ func main() {
 	flag.Float64Var(&cfg.need, "need", 0.00002, "fluid need per service, per dimension")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed")
 	flag.IntVar(&cfg.retries, "retries", 3, "max retries per request on transport errors and 502/503/504 (503 honors Retry-After)")
+	flag.StringVar(&cfg.metricsURL, "metrics-url", "", "scrape this Prometheus endpoint before and after each pass and embed the server-side counter delta in the report (e.g. http://127.0.0.1:8080/metrics)")
 	flag.Parse()
 
 	if _, err := fmt.Sscanf(*mix, "%d:%d:%d", &cfg.mixAdd, &cfg.mixRem, &cfg.mixUpd); err != nil {
@@ -260,6 +282,15 @@ type worker struct {
 }
 
 func runPass(cfg config, mix string, dim int) Report {
+	var before map[string]float64
+	if cfg.metricsURL != "" {
+		m, err := scrape(cfg.metricsURL)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: metrics scrape: %v\n", err)
+		} else {
+			before = m
+		}
+	}
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        cfg.conns,
 		MaxIdleConnsPerHost: cfg.conns,
@@ -341,6 +372,18 @@ func runPass(cfg config, mix string, dim int) Report {
 	if cfg.rate > 0 {
 		mode = "open"
 	}
+	var delta *MetricsDelta
+	if before != nil {
+		after, err := scrape(cfg.metricsURL)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: metrics scrape: %v\n", err)
+		} else {
+			delta = metricsDelta(before, after)
+			fmt.Fprintf(os.Stderr, "loadgen: server delta: %.0f journal records / %.0f fsyncs (%.1f records/fsync), %.0f admissions in %.0f batches, %.0f epochs\n",
+				delta.JournalRecords, delta.JournalFsyncs, delta.RecordsPerFsync,
+				delta.Admissions, delta.AdmissionBatches, delta.Epochs)
+		}
+	}
 	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
 	return Report{
 		Addr: cfg.addr, Mode: mode, RateRPS: cfg.rate,
@@ -356,7 +399,71 @@ func runPass(cfg config, mix string, dim int) Report {
 			Max:  ms(lat.Max()),
 			Mean: lat.Mean() / 1e6,
 		},
+		Metrics: delta,
 	}
+}
+
+// scrape fetches a Prometheus text exposition and sums every sample by bare
+// family name (label sets collapsed), which is all a before/after counter
+// delta needs.
+func scrape(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	sums := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest := line, ""
+		if i := strings.Index(line, "{"); i >= 0 {
+			name = line[:i]
+			j := strings.LastIndex(line, "}")
+			if j < i {
+				continue // malformed
+			}
+			rest = line[j+1:]
+		} else if i := strings.IndexByte(line, ' '); i >= 0 {
+			name, rest = line[:i], line[i+1:]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			continue
+		}
+		sums[name] += v
+	}
+	return sums, sc.Err()
+}
+
+// metricsDelta subtracts two scrapes into the report's server-side view.
+func metricsDelta(before, after map[string]float64) *MetricsDelta {
+	d := func(name string) float64 { return after[name] - before[name] }
+	md := &MetricsDelta{
+		HTTPRequests:     d("vmallocd_http_requests_total"),
+		Admissions:       d("vmallocd_admissions_total"),
+		AdmissionBatches: d("vmallocd_admission_batches_total"),
+		JournalRecords:   d("vmallocd_journal_records_total"),
+		JournalFsyncs:    d("vmallocd_journal_fsyncs_total"),
+		Epochs:           d("vmallocd_epochs_total"),
+		FailedEpochs:     d("vmallocd_failed_epochs_total"),
+		TracesStarted:    d("vmallocd_traces_started_total"),
+	}
+	if md.JournalFsyncs > 0 {
+		md.RecordsPerFsync = md.JournalRecords / md.JournalFsyncs
+	}
+	return md
 }
 
 // doOp draws one request from the churn mix, executes it, and records its

@@ -29,9 +29,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -40,6 +40,7 @@ import (
 
 	"vmalloc"
 	"vmalloc/internal/journal"
+	"vmalloc/internal/obs"
 	"vmalloc/internal/replica"
 	"vmalloc/internal/server"
 	"vmalloc/internal/workload"
@@ -76,12 +77,29 @@ func main() {
 		follow    = flag.String("follow", "", "follow the leader vmallocd at this base URL: serve a read-only replica until POST /v1/promote")
 		poll      = flag.Duration("poll", 0, "replication pull interval once caught up (with -follow; 0 = 200ms)")
 		readyLag  = flag.Int64("ready-lag", 0, "max per-shard replication lag in records before GET /readyz fails (with -follow; 0 = 4096, negative disables)")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn or error (per-request lines log at debug)")
+		logFormat = flag.String("log-format", "text", "log encoding: text or json")
+		traceRing = flag.Int("trace-ring", 0, "retained request traces behind GET /v1/debug/traces (0 = 256, negative disables tracing)")
+		slowTrace = flag.Duration("slow-trace", 0, "traces slower than this are kept in the longer-lived slow ring (0 = 500ms)")
+		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (opt-in)")
 	)
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "vmallocd: -dir is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	lg, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	observer := &obs.Observer{
+		Tracer: obs.NewTracer(*traceRing, *slowTrace),
+		Epochs: obs.NewEpochRing(0),
+	}
+	if *traceRing < 0 {
+		observer.Tracer.SetEnabled(false)
 	}
 
 	var fsyncMode journal.FsyncMode
@@ -134,6 +152,7 @@ func main() {
 		ShardSeed:      *seed,
 		RebalanceGap:   *rebGap,
 		RebalanceMoves: *rebMoves,
+		Obs:            observer,
 	}
 
 	// The platform only matters on first boot; an existing journal carries
@@ -186,14 +205,14 @@ func main() {
 			fatal(err)
 		}
 		s = replica.NewSwitch(f)
-		log.Printf("vmallocd: following %s (read-only until POST /v1/promote)", *follow)
+		lg.Info("following leader (read-only until POST /v1/promote)", "leader", *follow)
 	} else if manifest != nil || (!recovered && *shards > 0) {
 		ss, err := server.OpenSharded(*dir, nodes, opts)
 		if err != nil {
 			fatal(err)
 		}
 		for _, w := range ss.RecoveryWarnings {
-			log.Printf("vmallocd: recovery: %s", w)
+			lg.Warn("recovery", "warning", w)
 		}
 		s = ss
 	} else {
@@ -204,16 +223,32 @@ func main() {
 		s = st
 	}
 	stats := s.Stats()
-	log.Printf("vmallocd: recovered %d services in %d shard(s) (replayed %d records, snapshot seq %d, truncated %d torn bytes)",
-		stats.Services, max(stats.Shards, 1), stats.Replayed, stats.SnapshotSeq, stats.TruncatedBytes)
+	lg.Info("recovered",
+		"services", stats.Services,
+		"shards", max(stats.Shards, 1),
+		"replayed", stats.Replayed,
+		"snapshot_seq", stats.SnapshotSeq,
+		"truncated_bytes", stats.TruncatedBytes,
+	)
 
 	var m *server.Metrics
 	if !*noMetrics {
-		m = server.NewMetrics(s)
+		m = server.NewObservedMetrics(s, observer)
+	}
+	var handler http.Handler = server.NewObservedHandler(s, m, observer, lg)
+	if *pprofOn {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
 	}
 	httpSrv := &http.Server{
 		Addr:    *addr,
-		Handler: server.NewHandler(s, m),
+		Handler: handler,
 		// A slow-header client must not pin a connection forever
 		// (slowloris); epochs can legitimately run long, so responses get
 		// no WriteTimeout — only reads and idle keep-alives are bounded.
@@ -225,15 +260,15 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("vmallocd: serving on %s (journal %s, fsync=%s)", *addr, *dir, *fsync)
+	lg.Info("serving", "addr", *addr, "journal", *dir, "fsync", *fsync, "pprof", *pprofOn)
 
 	select {
 	case <-ctx.Done():
-		log.Printf("vmallocd: shutting down")
+		lg.Info("shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
-			log.Printf("vmallocd: http shutdown: %v", err)
+			lg.Warn("http shutdown", "err", err)
 		}
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
@@ -244,7 +279,7 @@ func main() {
 	if err := s.Close(); err != nil {
 		fatal(err)
 	}
-	log.Printf("vmallocd: checkpointed and closed")
+	lg.Info("checkpointed and closed")
 }
 
 func fatal(err error) {

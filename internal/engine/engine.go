@@ -43,10 +43,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"vmalloc/internal/core"
 	"vmalloc/internal/hvp"
 	"vmalloc/internal/lp"
+	"vmalloc/internal/obs"
 	"vmalloc/internal/opt"
 	"vmalloc/internal/relax"
 	"vmalloc/internal/sched"
@@ -111,6 +113,13 @@ type EpochReport struct {
 	Services int
 	// Migrations counts already-placed services that changed node.
 	Migrations int
+	// SolveNs is the wall time of the placer (or repair) call alone —
+	// view building and load recomputation excluded.
+	SolveNs int64
+	// Solver aggregates the solver-tier work counters of this epoch: the
+	// vp packing attempts (drained from the persistent solvers), and with
+	// UseLPBound the simplex/presolve work of the relaxation solves.
+	Solver obs.SolverStats
 }
 
 // Engine is the persistent allocation engine. It is not safe for concurrent
@@ -144,6 +153,11 @@ type Engine struct {
 	solver *vp.Solver   // sequential persistent solver (lazy)
 	pool   []*vp.Solver // parallel persistent solvers (lazy)
 	basis  *lp.Basis    // LP warm-start basis carried across epochs
+
+	// lpStats accumulates the relaxation-solve counters of the current
+	// epoch (lpBound is called once per binary-search bracket); drained
+	// into the EpochReport alongside the vp solver counters.
+	lpStats obs.SolverStats
 }
 
 // New validates cfg and returns an empty engine.
@@ -470,12 +484,56 @@ func (e *Engine) lpBound(p *core.Problem) (float64, error) {
 		e.basis = nil
 		return 0, err
 	}
+	e.noteRelaxation(rel)
 	if !rel.Feasible {
 		e.basis = nil
 		return -1, nil
 	}
 	e.basis = rel.Basis
 	return math.Min(rel.MinYield, 1), nil
+}
+
+// noteRelaxation folds one relaxation solve's work counters into the
+// current epoch's accumulator.
+func (e *Engine) noteRelaxation(rel *relax.Relaxed) {
+	st := &e.lpStats
+	st.LPSolves++
+	st.LPIterations += int64(rel.Iters)
+	st.LPRefactorizations += int64(rel.Refactorizations)
+	st.LPBlandActivations += int64(rel.BlandActivations)
+	if rel.WarmStarted {
+		st.LPWarmStarts++
+	} else {
+		st.LPColdStarts++
+	}
+	if ps := rel.Presolve; ps != nil {
+		st.PresolveRowsEliminated += int64(ps.RowsEliminated)
+		st.PresolveColsEliminated += int64(ps.ColsEliminated)
+		st.PresolveFixedCols += int64(ps.FixedCols)
+		st.PresolveDroppedRows += int64(ps.DroppedRows)
+		st.PresolveSubstCols += int64(ps.SubstCols)
+		st.PresolveBoundsTightened += int64(ps.BoundsTightened)
+		st.PresolveDoubletonSlacks += int64(ps.DoubletonSlacks)
+	}
+}
+
+// takeSolverStats drains the epoch's solver-tier counters: the lpBound
+// accumulator plus the persistent vp solvers' pack counters (the pool
+// workers are joined before solve returns, so the drain is race-free).
+func (e *Engine) takeSolverStats() obs.SolverStats {
+	st := e.lpStats
+	e.lpStats = obs.SolverStats{}
+	var v vp.Stats
+	if e.solver != nil {
+		v.Add(e.solver.TakeStats())
+	}
+	for _, s := range e.pool {
+		v.Add(s.TakeStats())
+	}
+	st.VPPacks += int64(v.Packs)
+	st.VPPacksSolved += int64(v.PacksSolved)
+	st.VPStepsPruned += int64(v.StepsPruned)
+	return st
 }
 
 // apply commits a solved placement (in IDs order), counting migrations of
@@ -524,7 +582,10 @@ func (e *Engine) Reallocate() *EpochReport {
 		rep.Result = &core.Result{Solved: true}
 		return rep
 	}
+	start := time.Now()
 	rep.Result = e.solve()
+	rep.SolveNs = time.Since(start).Nanoseconds()
+	rep.Solver = e.takeSolverStats()
 	if rep.Result.Solved {
 		rep.Migrations = e.apply(rep.Result)
 	}
@@ -541,10 +602,13 @@ func (e *Engine) Repair(budget int) *EpochReport {
 		rep.Result = &core.Result{Solved: true}
 		return rep
 	}
+	start := time.Now()
 	rep.Result = opt.Repair(&e.estP, e.placeBuf, &opt.RepairOptions{
 		Budget:  budget,
 		Improve: true,
 	})
+	rep.SolveNs = time.Since(start).Nanoseconds()
+	rep.Solver = e.takeSolverStats()
 	if rep.Result.Solved {
 		rep.Migrations = e.apply(rep.Result)
 	}

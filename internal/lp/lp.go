@@ -195,6 +195,28 @@ type Solution struct {
 	// (a stale or mismatched basis makes the solver fall back to a cold
 	// start rather than fail).
 	WarmStarted bool
+	// Refactorizations counts LU rebuilds of the basis (sparse/revised
+	// solver only; the dense tableau never factorizes).
+	Refactorizations int
+	// BlandActivations counts switches from Dantzig pricing into Bland's
+	// anti-cycling rule after a degenerate stall.
+	BlandActivations int
+	// Presolve carries the reduction counters when the problem was solved
+	// through the presolving backend; nil for a direct simplex solve.
+	Presolve *PresolveStats
+}
+
+// PresolveStats summarizes what presolve eliminated before the simplex ran.
+// It lives in this package (not internal/presolve) so Solution can carry it
+// without an import cycle; the presolving backend fills it in.
+type PresolveStats struct {
+	RowsEliminated  int `json:"rows_eliminated"`
+	ColsEliminated  int `json:"cols_eliminated"`
+	FixedCols       int `json:"fixed_cols"`
+	DroppedRows     int `json:"dropped_rows"`
+	SubstCols       int `json:"subst_cols"`
+	BoundsTightened int `json:"bounds_tightened"`
+	DoubletonSlacks int `json:"doubleton_slacks"`
 }
 
 const (
@@ -238,6 +260,8 @@ type tableau struct {
 	rowSign []float64 // +1/-1 applied to each row during normalization
 	iters   int
 	maxIter int
+
+	blandActs int // Dantzig -> Bland switches, surfaced on the Solution
 }
 
 // Solve maximizes the problem with the two-phase bounded simplex method on a
@@ -265,10 +289,10 @@ func Solve(p *Problem) (*Solution, error) {
 		tb.priceOut()
 		st := tb.iterate()
 		if st == IterLimit {
-			return &Solution{Status: IterLimit, Iters: tb.iters}, nil
+			return &Solution{Status: IterLimit, Iters: tb.iters, BlandActivations: tb.blandActs}, nil
 		}
 		if tb.phase1Objective() < -feasTol {
-			return &Solution{Status: Infeasible, Iters: tb.iters}, nil
+			return &Solution{Status: Infeasible, Iters: tb.iters, BlandActivations: tb.blandActs}, nil
 		}
 		tb.driveOutArtificials()
 	}
@@ -280,7 +304,7 @@ func Solve(p *Problem) (*Solution, error) {
 	// Phase 2: true objective.
 	tb.loadObjective(p.Obj)
 	st := tb.iterate()
-	sol := &Solution{Status: st, Iters: tb.iters}
+	sol := &Solution{Status: st, Iters: tb.iters, BlandActivations: tb.blandActs}
 	if st != Optimal {
 		return sol, nil
 	}
@@ -613,6 +637,9 @@ func (tb *tableau) iterate() Status {
 			stall = 0
 			bland = false
 		} else if stall++; stall > 2*(tb.m+10) {
+			if !bland {
+				tb.blandActs++
+			}
 			bland = true
 		}
 	}

@@ -30,10 +30,12 @@ func runRevised(p *Problem, warm *Basis) *Solution {
 			}
 			st := rv.iterate()
 			if st == IterLimit {
-				return &Solution{Status: IterLimit, Iters: rv.iters}
+				return &Solution{Status: IterLimit, Iters: rv.iters,
+					Refactorizations: rv.refactors, BlandActivations: rv.blandActs}
 			}
 			if rv.phase1Objective() < -feasTol {
-				return &Solution{Status: Infeasible, Iters: rv.iters}
+				return &Solution{Status: Infeasible, Iters: rv.iters,
+					Refactorizations: rv.refactors, BlandActivations: rv.blandActs}
 			}
 			rv.driveOutArtificials()
 		}
@@ -51,7 +53,8 @@ func runRevised(p *Problem, warm *Basis) *Solution {
 	}
 
 	st := rv.iterate()
-	sol := &Solution{Status: st, Iters: rv.iters, WarmStarted: warmed}
+	sol := &Solution{Status: st, Iters: rv.iters, WarmStarted: warmed,
+		Refactorizations: rv.refactors, BlandActivations: rv.blandActs}
 	if st != Optimal {
 		return sol
 	}
@@ -102,6 +105,10 @@ type revised struct {
 	cost    []float64 // raw costs of the current phase
 	banned  []bool
 	broken  bool // a refactorization failed; abort with IterLimit
+
+	// Work counters surfaced on the Solution for observability.
+	refactors int // LU rebuilds
+	blandActs int // Dantzig -> Bland switches after degenerate stalls
 
 	// d holds the reduced costs, maintained incrementally across pivots via
 	// the pivot row (alpha = rho·A computed row-wise through the CSR mirror)
@@ -361,6 +368,9 @@ func (rv *revised) iterate() Status {
 			stall = 0
 			bland = false
 		} else if stall++; stall > 2*(rv.m+10) {
+			if !bland {
+				rv.blandActs++
+			}
 			bland = true
 		}
 	}
@@ -534,6 +544,7 @@ func (rv *revised) apply(enter int, w []float64, row int, leaveTo varStatus, del
 // failure (numerically singular basis, which pivot-size guarantees should
 // prevent) marks the solver broken so iterate aborts instead of diverging.
 func (rv *revised) refactorize() {
+	rv.refactors++
 	if !rv.lu.factorize(rv.basisCols()) {
 		rv.broken = true
 		return

@@ -60,6 +60,10 @@ type Solution struct {
 	Bound float64
 	// Nodes is the number of branch-and-bound nodes solved.
 	Nodes int
+	// Pruned is the number of open nodes discarded because their bound
+	// could not beat the incumbent (before or after their relaxation
+	// solved).
+	Pruned int
 	// HasIncumbent reports whether X/Objective hold a feasible solution.
 	HasIncumbent bool
 }
@@ -157,6 +161,7 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 		}
 		nd := q.Pop()
 		if nd.bound <= sol.Objective+1e-12 && sol.HasIncumbent {
+			sol.Pruned++
 			continue // pruned by incumbent
 		}
 		if opts.Gap > 0 && sol.HasIncumbent &&
@@ -181,6 +186,7 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 			return nil, errors.New("milp: relaxation unbounded; bound the binary problem")
 		}
 		if rel.Objective <= sol.Objective+1e-12 && sol.HasIncumbent {
+			sol.Pruned++
 			continue
 		}
 		branch := pickBranchVar(rel.X, p.Binary, intTol)

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a -log-level flag value onto a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger builds the structured logger behind -log-level/-log-format:
+// text (the default, human-first) or json (one object per line, for log
+// pipelines).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+}

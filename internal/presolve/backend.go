@@ -48,11 +48,16 @@ func (b Backend) SolveWarm(p *lp.Problem, warm *lp.Basis) (*lp.Solution, error) 
 	}
 	switch red.Outcome() {
 	case Infeasible:
-		return &lp.Solution{Status: lp.Infeasible}, nil
+		return &lp.Solution{Status: lp.Infeasible, Presolve: red.solutionStats()}, nil
 	case Unbounded:
-		return &lp.Solution{Status: lp.Unbounded}, nil
+		return &lp.Solution{Status: lp.Unbounded, Presolve: red.solutionStats()}, nil
 	case Solved:
-		return red.Postsolve(nil)
+		full, err := red.Postsolve(nil)
+		if err != nil {
+			return nil, err
+		}
+		full.Presolve = red.solutionStats()
+		return full, nil
 	}
 	sol, err := b.inner().SolveWarm(red.Problem(), warm)
 	if err != nil {
@@ -65,5 +70,23 @@ func (b Backend) SolveWarm(p *lp.Problem, warm *lp.Basis) (*lp.Solution, error) 
 	// Hand the reduced basis back as the warm token; the full-space basis
 	// reconstruction is reachable via explicit Reduce+Postsolve.
 	full.Basis = sol.Basis
+	full.Refactorizations = sol.Refactorizations
+	full.BlandActivations = sol.BlandActivations
+	full.Presolve = red.solutionStats()
 	return full, nil
+}
+
+// solutionStats converts the reduction's counters into the lp-space stats
+// attached to the returned Solution.
+func (r *Reduction) solutionStats() *lp.PresolveStats {
+	st := r.Stats()
+	return &lp.PresolveStats{
+		RowsEliminated:  st.RowsBefore - st.RowsAfter,
+		ColsEliminated:  st.ColsBefore - st.ColsAfter,
+		FixedCols:       st.FixedCols,
+		DroppedRows:     st.DroppedRows,
+		SubstCols:       st.SubstCols,
+		BoundsTightened: st.BoundsTightened,
+		DoubletonSlacks: st.DoubletonSlacks,
+	}
 }

@@ -178,6 +178,24 @@ type Relaxed struct {
 	// RRND-then-RRNZ roster pattern). A token that no longer fits falls
 	// back to a cold start inside the solver.
 	Basis *lp.Basis
+	// Iters/Refactorizations/BlandActivations count the simplex work of
+	// this solve and WarmStarted reports whether a supplied basis actually
+	// installed; Presolve carries the reduction counters when the backend
+	// presolves (nil otherwise). Valid on infeasible outcomes too.
+	Iters            int
+	Refactorizations int
+	BlandActivations int
+	WarmStarted      bool
+	Presolve         *lp.PresolveStats
+}
+
+// fillWork copies the solver-work counters off a backend solution.
+func (r *Relaxed) fillWork(sol *lp.Solution) {
+	r.Iters = sol.Iters
+	r.Refactorizations = sol.Refactorizations
+	r.BlandActivations = sol.BlandActivations
+	r.WarmStarted = sol.WarmStarted
+	r.Presolve = sol.Presolve
 }
 
 // SolveRelaxed solves the rational relaxation of the MILP for p through the
@@ -197,12 +215,15 @@ func SolveRelaxedWarm(p *core.Problem, warm *lp.Basis) (*Relaxed, error) {
 	}
 	switch sol.Status {
 	case lp.Infeasible:
-		return &Relaxed{}, nil
+		r := &Relaxed{}
+		r.fillWork(sol)
+		return r, nil
 	case lp.Optimal:
 	default:
 		return nil, fmt.Errorf("relax: simplex returned %v", sol.Status)
 	}
 	r := &Relaxed{Feasible: true, MinYield: sol.X[enc.MinYieldVar()], Basis: sol.Basis}
+	r.fillWork(sol)
 	r.E = make([][]float64, enc.J)
 	for j := 0; j < enc.J; j++ {
 		r.E[j] = make([]float64, enc.H)

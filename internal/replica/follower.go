@@ -90,6 +90,13 @@ type Follower struct {
 	polled     atomic.Bool     // at least one successful chain poll
 	promoted   atomic.Bool
 
+	// Per-shard apply telemetry feeding the lag metrics: cumulative applied
+	// stream bytes and records (their ratio is the mean record size the
+	// bytes-behind estimate uses) and the apply time of the newest record.
+	shardBytes   []atomic.Uint64
+	shardRecords []atomic.Uint64
+	lastApplied  []atomic.Int64 // unix nanos; seeded with the open time
+
 	batches    atomic.Uint64
 	records    atomic.Uint64
 	retries    atomic.Uint64
@@ -126,8 +133,13 @@ func Open(ctx context.Context, opts Options) (*Follower, error) {
 	n := rep.Manifest.Shards
 	f.cursors = make([]atomic.Uint64, n)
 	f.leaderSeqs = make([]atomic.Uint64, n)
+	f.shardBytes = make([]atomic.Uint64, n)
+	f.shardRecords = make([]atomic.Uint64, n)
+	f.lastApplied = make([]atomic.Int64, n)
+	now := time.Now().UnixNano()
 	for i, j := range rep.Journals {
 		f.cursors[i].Store(j.LastSeq())
+		f.lastApplied[i].Store(now)
 	}
 
 	f.ctx, f.cancel = context.WithCancel(context.Background())
@@ -308,6 +320,9 @@ func (f *Follower) pullOnce(shard int) (applied bool, err error) {
 	f.cursors[shard].Store(last)
 	f.batches.Add(1)
 	f.records.Add(last - b.First + 1)
+	f.shardBytes[shard].Add(uint64(len(b.Data)))
+	f.shardRecords[shard].Add(last - b.First + 1)
+	f.lastApplied[shard].Store(time.Now().UnixNano())
 	return true, nil
 }
 
@@ -573,12 +588,17 @@ func (f *Follower) ReplicationStatus() *server.ReplicationStatus {
 		Bootstraps: f.bootstraps.Load(),
 		Promoted:   f.promoted.Load(),
 	}
+	now := time.Now().UnixNano()
 	for i := range f.cursors {
 		applied, leader := f.cursors[i].Load(), f.leaderSeqs[i].Load()
 		sh := server.FollowerShardStatus{Shard: i, AppliedSeq: applied, LeaderSeq: leader}
 		if leader > applied {
 			sh.Lag = leader - applied
 		}
+		if recs := f.shardRecords[i].Load(); recs > 0 {
+			sh.BytesBehind = sh.Lag * (f.shardBytes[i].Load() / recs)
+		}
+		sh.SecondsSinceApplied = float64(now-f.lastApplied[i].Load()) / 1e9
 		st.Shards = append(st.Shards, sh)
 	}
 	return st

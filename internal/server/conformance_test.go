@@ -1,0 +1,401 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusTextConformance validates the full registry output against
+// the text exposition format (version 0.0.4) with a strict parser: metric
+// and label name grammar, label-value escaping, HELP-before-TYPE ordering,
+// family contiguity, series uniqueness, histogram bucket monotonicity and
+// the +Inf bucket equalling _count. The registry is populated by real
+// traffic first so every family kind (counter vec, histogram vec,
+// scrape-time collector, histogram snapshot) has samples.
+func TestPrometheusTextConformance(t *testing.T) {
+	_, _, ts := newObservedServer(t, nil)
+
+	// Exercise the surface: admissions (single + batch), an error, a remove,
+	// an update, epochs, stats — so counters, histograms and the epoch ring
+	// all have data behind them.
+	var add addResponse
+	if code, raw := doJSON(t, "POST", ts.URL+"/v1/services", addRequest{True: ptr(smallService(0.05))}, &add); code != http.StatusCreated {
+		t.Fatalf("add: %d %s", code, raw)
+	}
+	doJSON(t, "POST", ts.URL+"/v1/services:batch", map[string]any{
+		"services": []addRequest{{True: ptr(smallService(0.04))}, {True: ptr(smallService(0.03))}},
+	}, nil)
+	doJSON(t, "DELETE", ts.URL+"/v1/services/999999", nil, nil) // 404
+	doJSON(t, "DELETE", fmt.Sprintf("%s/v1/services/%d", ts.URL, add.ID), nil, nil)
+	doJSON(t, "POST", ts.URL+"/v1/reallocate", nil, nil)
+	doJSON(t, "GET", ts.URL+"/v1/stats", nil, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("scrape content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	checkExposition(t, buf.String())
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// expoSample is one parsed sample line.
+type expoSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// checkExposition is the strict parser. It fails the test on the first
+// violation, naming the offending line.
+func checkExposition(t *testing.T, body string) {
+	t.Helper()
+	if !strings.HasSuffix(body, "\n") {
+		t.Fatal("exposition does not end in a newline")
+	}
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]string{}
+	closed := map[string]bool{}
+	seriesSeen := map[string]bool{}
+	samplesByFamily := map[string][]expoSample{}
+	current := ""
+
+	for i, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		ln := i + 1
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !metricNameRe.MatchString(name) {
+				t.Fatalf("line %d: malformed HELP: %q", ln, line)
+			}
+			if helpSeen[name] {
+				t.Fatalf("line %d: duplicate HELP for %s", ln, name)
+			}
+			if typeSeen[name] != "" {
+				t.Fatalf("line %d: HELP for %s after its TYPE", ln, name)
+			}
+			helpSeen[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !metricNameRe.MatchString(name) {
+				t.Fatalf("line %d: malformed TYPE: %q", ln, line)
+			}
+			if !helpSeen[name] {
+				t.Fatalf("line %d: TYPE for %s without preceding HELP", ln, name)
+			}
+			if typeSeen[name] != "" {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: invalid metric type %q", ln, typ)
+			}
+			typeSeen[name] = typ
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected comment line %q (only HELP and TYPE are emitted)", ln, line)
+		case line == "":
+			t.Fatalf("line %d: blank line in exposition", ln)
+		default:
+			s := parseSampleLine(t, ln, line)
+			fam := sampleFamily(s.name, typeSeen)
+			if fam == "" {
+				t.Fatalf("line %d: sample %s has no declared family", ln, s.name)
+			}
+			if fam != current {
+				if closed[fam] {
+					t.Fatalf("line %d: family %s is not contiguous", ln, fam)
+				}
+				if current != "" {
+					closed[current] = true
+				}
+				current = fam
+			}
+			key := s.name + "{" + canonicalLabels(s.labels) + "}"
+			if seriesSeen[key] {
+				t.Fatalf("line %d: duplicate series %s", ln, key)
+			}
+			seriesSeen[key] = true
+			samplesByFamily[fam] = append(samplesByFamily[fam], s)
+		}
+	}
+
+	histograms := 0
+	for fam, typ := range typeSeen {
+		if typ == "histogram" {
+			histograms++
+			checkHistogramFamily(t, fam, samplesByFamily[fam])
+		}
+	}
+	if histograms == 0 {
+		t.Fatal("no histogram family in the exposition (latency histograms missing)")
+	}
+	for _, must := range []string{
+		"vmallocd_http_requests_total", "vmallocd_http_request_seconds",
+		"vmallocd_journal_fsyncs_total", "vmallocd_epochs_total",
+		"vmallocd_epoch_solve_seconds_total", "vmallocd_solver_work_total",
+		"vmallocd_traces_started_total", "vmalloc_build_info",
+		"vmallocd_goroutines",
+	} {
+		if typeSeen[must] == "" {
+			t.Fatalf("family %s missing from the exposition", must)
+		}
+		if len(samplesByFamily[must]) == 0 {
+			t.Fatalf("family %s declared but has no samples", must)
+		}
+	}
+}
+
+// sampleFamily maps a sample name to its declared family: histogram series
+// use the _bucket/_sum/_count suffixes of a histogram-typed base name.
+func sampleFamily(name string, typeSeen map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base := strings.TrimSuffix(name, suffix); base != name && typeSeen[base] == "histogram" {
+			return base
+		}
+	}
+	if typ := typeSeen[name]; typ != "" && typ != "histogram" {
+		return name
+	}
+	return ""
+}
+
+// parseSampleLine parses `name[{labels}] value`, validating name and label
+// grammar and the escaping inside label values.
+func parseSampleLine(t *testing.T, ln int, line string) expoSample {
+	t.Helper()
+	s := expoSample{labels: map[string]string{}, line: ln}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	space := strings.IndexByte(rest, ' ')
+	if brace >= 0 && (space < 0 || brace < space) {
+		s.name = rest[:brace]
+		rest = rest[brace+1:]
+		rest = parseLabels(t, ln, rest, s.labels)
+	} else {
+		if space < 0 {
+			t.Fatalf("line %d: no value: %q", ln, line)
+		}
+		s.name = rest[:space]
+		rest = rest[space:]
+	}
+	if !metricNameRe.MatchString(s.name) {
+		t.Fatalf("line %d: invalid metric name %q", ln, s.name)
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		t.Fatalf("line %d: expected value [timestamp], got %q", ln, rest)
+	}
+	v, err := parseExpoValue(fields[0])
+	if err != nil {
+		t.Fatalf("line %d: bad value %q: %v", ln, fields[0], err)
+	}
+	s.value = v
+	return s
+}
+
+// parseLabels consumes `k="v",...}` and returns what follows the brace.
+func parseLabels(t *testing.T, ln int, rest string, out map[string]string) string {
+	t.Helper()
+	for {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			t.Fatalf("line %d: malformed labels near %q", ln, rest)
+		}
+		name := rest[:eq]
+		if !labelNameRe.MatchString(name) {
+			t.Fatalf("line %d: invalid label name %q", ln, name)
+		}
+		if _, dup := out[name]; dup {
+			t.Fatalf("line %d: duplicate label %q", ln, name)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			t.Fatalf("line %d: label %s value not quoted", ln, name)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+	scan:
+		for {
+			if len(rest) == 0 {
+				t.Fatalf("line %d: unterminated label value for %s", ln, name)
+			}
+			switch rest[0] {
+			case '"':
+				rest = rest[1:]
+				break scan
+			case '\\':
+				if len(rest) < 2 {
+					t.Fatalf("line %d: dangling escape in label %s", ln, name)
+				}
+				switch rest[1] {
+				case '\\', '"':
+					val.WriteByte(rest[1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					t.Fatalf("line %d: invalid escape \\%c in label %s", ln, rest[1], name)
+				}
+				rest = rest[2:]
+			default:
+				val.WriteByte(rest[0])
+				rest = rest[1:]
+			}
+		}
+		out[name] = val.String()
+		if len(rest) == 0 {
+			t.Fatalf("line %d: labels not closed", ln)
+		}
+		switch rest[0] {
+		case ',':
+			rest = rest[1:]
+		case '}':
+			return rest[1:]
+		default:
+			t.Fatalf("line %d: expected , or } after label, got %q", ln, rest[0])
+		}
+	}
+}
+
+func parseExpoValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// checkHistogramFamily verifies each child (label set minus le): buckets in
+// ascending le order with non-decreasing cumulative counts, a +Inf bucket
+// present, and +Inf == _count, with _sum and _count present exactly once.
+func checkHistogramFamily(t *testing.T, fam string, samples []expoSample) {
+	t.Helper()
+	type hist struct {
+		les     []float64
+		cums    []float64
+		count   *float64
+		sum     bool
+		inf     *float64
+		buckets int
+	}
+	children := map[string]*hist{}
+	childOf := func(s expoSample, dropLe bool) *hist {
+		labels := map[string]string{}
+		for k, v := range s.labels {
+			if dropLe && k == "le" {
+				continue
+			}
+			labels[k] = v
+		}
+		key := canonicalLabels(labels)
+		h, ok := children[key]
+		if !ok {
+			h = &hist{}
+			children[key] = h
+		}
+		return h
+	}
+	for _, s := range samples {
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			le, ok := s.labels["le"]
+			if !ok {
+				t.Fatalf("%s line %d: bucket without le label", fam, s.line)
+			}
+			h := childOf(s, true)
+			h.buckets++
+			if le == "+Inf" {
+				v := s.value
+				h.inf = &v
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("%s line %d: unparseable le %q", fam, s.line, le)
+			}
+			if h.inf != nil {
+				t.Fatalf("%s line %d: finite bucket after +Inf", fam, s.line)
+			}
+			h.les = append(h.les, bound)
+			h.cums = append(h.cums, s.value)
+		case strings.HasSuffix(s.name, "_sum"):
+			childOf(s, false).sum = true
+		case strings.HasSuffix(s.name, "_count"):
+			h := childOf(s, false)
+			v := s.value
+			h.count = &v
+		default:
+			t.Fatalf("%s line %d: stray sample %s in histogram family", fam, s.line, s.name)
+		}
+	}
+	for key, h := range children {
+		if h.inf == nil {
+			t.Fatalf("%s{%s}: no +Inf bucket", fam, key)
+		}
+		if h.count == nil || !h.sum {
+			t.Fatalf("%s{%s}: missing _count or _sum", fam, key)
+		}
+		if *h.inf != *h.count {
+			t.Fatalf("%s{%s}: +Inf bucket %v != _count %v", fam, key, *h.inf, *h.count)
+		}
+		for i := 1; i < len(h.les); i++ {
+			if h.les[i] <= h.les[i-1] {
+				t.Fatalf("%s{%s}: bucket bounds not ascending: %v after %v", fam, key, h.les[i], h.les[i-1])
+			}
+			if h.cums[i] < h.cums[i-1] {
+				t.Fatalf("%s{%s}: cumulative counts decrease: %v after %v at le=%v",
+					fam, key, h.cums[i], h.cums[i-1], h.les[i])
+			}
+		}
+		if n := len(h.les); n > 0 && *h.inf < h.cums[n-1] {
+			t.Fatalf("%s{%s}: +Inf bucket %v below last finite bucket %v", fam, key, *h.inf, h.cums[n-1])
+		}
+	}
+}
+
+// canonicalLabels renders a label map sorted by key, for series identity.
+func canonicalLabels(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	// insertion sort: tiny maps
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}

@@ -2,12 +2,15 @@ package server
 
 import (
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"time"
 
 	"vmalloc"
 	"vmalloc/internal/journal"
 	"vmalloc/internal/metrics"
+	"vmalloc/internal/obs"
 )
 
 // journalStatser is the optional journal I/O statistics surface; stores that
@@ -26,8 +29,15 @@ type Metrics struct {
 
 // NewMetrics builds the metric registry over a store: per-endpoint request
 // counters and latency histograms, plus scrape-time collectors over
-// s.Stats(), per-shard statistics (sharded stores) and journal I/O counters.
-func NewMetrics(s API) *Metrics {
+// s.Stats(), per-shard statistics (sharded stores) and journal I/O
+// counters. Equivalent to NewObservedMetrics(s, nil).
+func NewMetrics(s API) *Metrics { return NewObservedMetrics(s, nil) }
+
+// NewObservedMetrics is NewMetrics plus the observer-backed families: Go
+// runtime gauges, build info, cumulative epoch phase timing and the
+// solver-tier work counters aggregated from the epoch ring, and the count
+// of traces started.
+func NewObservedMetrics(s API, o *obs.Observer) *Metrics {
 	reg := metrics.NewRegistry()
 	m := &Metrics{reg: reg}
 	m.reqs = reg.NewCounterVec("vmallocd_http_requests_total",
@@ -141,6 +151,21 @@ func NewMetrics(s API) *Metrics {
 					emit(metrics.L("shard", strconv.Itoa(sh.Shard)), float64(sh.Lag))
 				}
 			})
+		reg.Collect("vmallocd_replication_bytes_behind",
+			"Estimated backlog still to pull per shard: record lag times the "+
+				"mean applied record size.", "gauge",
+			func(emit func(metrics.Labels, float64)) {
+				for _, sh := range rst.ReplicationStatus().Shards {
+					emit(metrics.L("shard", strconv.Itoa(sh.Shard)), float64(sh.BytesBehind))
+				}
+			})
+		reg.Collect("vmallocd_replication_last_applied_age_seconds",
+			"Seconds since the newest record applied to each shard.", "gauge",
+			func(emit func(metrics.Labels, float64)) {
+				for _, sh := range rst.ReplicationStatus().Shards {
+					emit(metrics.L("shard", strconv.Itoa(sh.Shard)), sh.SecondsSinceApplied)
+				}
+			})
 		reg.Collect("vmallocd_replication_batches_total",
 			"Stream batches applied by the follower.", "counter",
 			func(emit func(metrics.Labels, float64)) {
@@ -215,7 +240,113 @@ func NewMetrics(s API) *Metrics {
 				}
 			})
 	}
+
+	registerRuntimeMetrics(reg)
+	registerObserverMetrics(reg, o)
 	return m
+}
+
+// registerRuntimeMetrics exports process-level Go runtime state and the
+// build identity.
+func registerRuntimeMetrics(reg *metrics.Registry) {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	goVersion := runtime.Version()
+	reg.Collect("vmalloc_build_info",
+		"Build identity; the value is always 1.", "gauge",
+		func(emit func(metrics.Labels, float64)) {
+			emit(metrics.L("version", version, "go_version", goVersion), 1)
+		})
+	reg.Collect("vmallocd_goroutines",
+		"Live goroutines.", "gauge",
+		func(emit func(metrics.Labels, float64)) {
+			emit(nil, float64(runtime.NumGoroutine()))
+		})
+	reg.Collect("vmallocd_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).", "gauge",
+		func(emit func(metrics.Labels, float64)) {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			emit(nil, float64(ms.HeapAlloc))
+		})
+	reg.Collect("vmallocd_gc_cycles_total",
+		"Completed GC cycles.", "counter",
+		func(emit func(metrics.Labels, float64)) {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			emit(nil, float64(ms.NumGC))
+		})
+	reg.Collect("vmallocd_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time.", "counter",
+		func(emit func(metrics.Labels, float64)) {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			emit(nil, float64(ms.PauseTotalNs)/1e9)
+		})
+}
+
+// registerObserverMetrics exports the observer's retained telemetry as
+// cumulative families: epoch phase timing and the solver tier's work
+// counters (aggregated over every epoch ever run), plus trace volume.
+func registerObserverMetrics(reg *metrics.Registry, o *obs.Observer) {
+	ring := o.EpochsOf()
+	if ring != nil {
+		reg.Collect("vmallocd_epoch_wall_seconds_total",
+			"Wall time spent inside epoch requests (apply + solve + fsync wait).", "counter",
+			func(emit func(metrics.Labels, float64)) {
+				emit(nil, float64(ring.Totals().TotalNs)/1e9)
+			})
+		reg.Collect("vmallocd_epoch_solve_seconds_total",
+			"Wall time spent in the solver tier across epochs.", "counter",
+			func(emit func(metrics.Labels, float64)) {
+				emit(nil, float64(ring.Totals().SolveNs)/1e9)
+			})
+		reg.Collect("vmallocd_epoch_fsync_wait_seconds_total",
+			"Wall time epochs spent waiting on journal durability.", "counter",
+			func(emit func(metrics.Labels, float64)) {
+				emit(nil, float64(ring.Totals().FsyncWaitNs)/1e9)
+			})
+		reg.Collect("vmallocd_solver_work_total",
+			"Solver-tier work counters summed over every epoch, by kind: presolve "+
+				"reductions, simplex effort, branch-and-bound nodes and vector-packing pruning.", "counter",
+			func(emit func(metrics.Labels, float64)) {
+				sv := ring.Totals().Solver
+				for _, kv := range []struct {
+					kind string
+					v    int64
+				}{
+					{"presolve_rows_eliminated", sv.PresolveRowsEliminated},
+					{"presolve_cols_eliminated", sv.PresolveColsEliminated},
+					{"presolve_fixed_cols", sv.PresolveFixedCols},
+					{"presolve_dropped_rows", sv.PresolveDroppedRows},
+					{"presolve_subst_cols", sv.PresolveSubstCols},
+					{"presolve_bounds_tightened", sv.PresolveBoundsTightened},
+					{"presolve_doubleton_slacks", sv.PresolveDoubletonSlacks},
+					{"lp_solves", sv.LPSolves},
+					{"lp_iterations", sv.LPIterations},
+					{"lp_refactorizations", sv.LPRefactorizations},
+					{"lp_bland_activations", sv.LPBlandActivations},
+					{"lp_warm_starts", sv.LPWarmStarts},
+					{"lp_cold_starts", sv.LPColdStarts},
+					{"milp_nodes", sv.MILPNodes},
+					{"milp_pruned", sv.MILPPruned},
+					{"vp_packs", sv.VPPacks},
+					{"vp_packs_solved", sv.VPPacksSolved},
+					{"vp_steps_pruned", sv.VPStepsPruned},
+				} {
+					emit(metrics.L("kind", kv.kind), float64(kv.v))
+				}
+			})
+	}
+	if t := o.TracerOf(); t != nil {
+		reg.Collect("vmallocd_traces_started_total",
+			"Request traces started (excludes requests with tracing disabled).", "counter",
+			func(emit func(metrics.Labels, float64)) {
+				emit(nil, float64(t.Started()))
+			})
+	}
 }
 
 // serveText renders the registry as Prometheus text exposition 0.0.4.

@@ -104,6 +104,12 @@ type FollowerShardStatus struct {
 	LeaderSeq uint64 `json:"leader_seq"`
 	// Lag is max(0, LeaderSeq-AppliedSeq) at the last poll.
 	Lag uint64 `json:"lag"`
+	// BytesBehind estimates the backlog still to pull: Lag multiplied by
+	// this shard's mean applied record size (0 until anything has applied).
+	BytesBehind uint64 `json:"bytes_behind"`
+	// SecondsSinceApplied is how long ago the newest record applied to this
+	// shard (time since the follower opened when nothing has applied yet).
+	SecondsSinceApplied float64 `json:"seconds_since_applied"`
 }
 
 // Ready reports whether the store can serve traffic: open and with a

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 
 	"vmalloc"
+	"vmalloc/internal/obs"
 )
 
 // API is the store surface the HTTP handler serves. Both the single-domain
@@ -56,7 +58,7 @@ func Routes() []string {
 		promoter
 		readier
 	}{}
-	rs := routes(ss, &Metrics{})
+	rs := routes(ss, &Metrics{}, &obs.Observer{})
 	out := make([]string, len(rs))
 	for i, rt := range rs {
 		out[i] = rt.method + " " + rt.pattern
@@ -70,9 +72,11 @@ func Routes() []string {
 const maxBatchServices = 4096
 
 // routes builds the route table over s. GET /v1/shards is served only by
-// sharded stores and GET /metrics only when metrics are enabled; both are
-// still part of the documented surface (see Routes).
-func routes(s API, m *Metrics) []route {
+// sharded stores, GET /metrics only when metrics are enabled and the
+// /v1/debug/* surface only with an observer; all are still part of the
+// documented surface (see Routes).
+func routes(s API, m *Metrics, o *obs.Observer) []route {
+	ca := newCtxCalls(s)
 	rs := []route{
 		{"POST", "/v1/services", func(w http.ResponseWriter, r *http.Request) {
 			var req addRequest
@@ -87,7 +91,7 @@ func routes(s API, m *Metrics) []route {
 			if req.Est != nil {
 				est = req.Est
 			}
-			id, node, err := s.AddWithEstimate(*req.True, *est)
+			id, node, err := ca.AddWithEstimate(r.Context(), *req.True, *est)
 			if err != nil {
 				if errors.Is(err, ErrRejected) {
 					httpError(w, http.StatusConflict, err)
@@ -127,7 +131,7 @@ func routes(s API, m *Metrics) []route {
 				specs = append(specs, AddSpec{True: *e.True, Est: *est})
 				idx = append(idx, i)
 			}
-			outs, err := s.AddBatch(specs)
+			outs, err := ca.AddBatch(r.Context(), specs)
 			if err != nil {
 				mutationError(w, err)
 				return
@@ -161,7 +165,7 @@ func routes(s API, m *Metrics) []route {
 			if !ok {
 				return
 			}
-			removed, err := s.Remove(id)
+			removed, err := ca.Remove(r.Context(), id)
 			if err != nil {
 				mutationError(w, err)
 				return
@@ -181,7 +185,7 @@ func routes(s API, m *Metrics) []route {
 			if !decodeBody(w, r, &req) {
 				return
 			}
-			if err := s.UpdateNeeds(id, req.TrueElem, req.TrueAgg, req.EstElem, req.EstAgg); err != nil {
+			if err := ca.UpdateNeeds(r.Context(), id, req.TrueElem, req.TrueAgg, req.EstElem, req.EstAgg); err != nil {
 				mutationError(w, err)
 				return
 			}
@@ -198,14 +202,14 @@ func routes(s API, m *Metrics) []route {
 				httpError(w, http.StatusBadRequest, errors.New("threshold must be a number >= 0"))
 				return
 			}
-			if err := s.SetThreshold(*req.Threshold); err != nil {
+			if err := ca.SetThreshold(r.Context(), *req.Threshold); err != nil {
 				mutationError(w, err)
 				return
 			}
 			writeJSON(w, http.StatusOK, map[string]float64{"threshold": *req.Threshold})
 		}},
 		{"POST", "/v1/reallocate", func(w http.ResponseWriter, r *http.Request) {
-			ce, err := s.Reallocate()
+			ce, err := ca.Reallocate(r.Context())
 			if err != nil {
 				mutationError(w, err)
 				return
@@ -214,6 +218,7 @@ func routes(s API, m *Metrics) []route {
 				Solved: ce.Result.Solved, MinYield: ce.Result.MinYield,
 				Migrations: ce.Migrations, Services: len(ce.IDs),
 				IDs: ce.IDs, Placement: ce.Result.Placement,
+				Stats: ce.Stats,
 			})
 		}},
 		{"POST", "/v1/repair", func(w http.ResponseWriter, r *http.Request) {
@@ -226,7 +231,7 @@ func routes(s API, m *Metrics) []route {
 			if !decodeOptionalBody(w, r, &req) {
 				return
 			}
-			ce, err := s.Repair(req.Budget)
+			ce, err := ca.Repair(r.Context(), req.Budget)
 			if err != nil {
 				mutationError(w, err)
 				return
@@ -235,6 +240,7 @@ func routes(s API, m *Metrics) []route {
 				Solved: ce.Result.Solved, MinYield: ce.Result.MinYield,
 				Migrations: ce.Migrations, Services: len(ce.IDs),
 				IDs: ce.IDs, Placement: ce.Result.Placement,
+				Stats: ce.Stats,
 			})
 		}},
 		{"GET", "/v1/minyield", func(w http.ResponseWriter, r *http.Request) {
@@ -287,6 +293,9 @@ func routes(s API, m *Metrics) []route {
 	rs = append(rs, replicaRoutes(s)...)
 	if m != nil {
 		rs = append(rs, route{"GET", "/metrics", m.serveText})
+	}
+	if o != nil {
+		rs = append(rs, debugRoutes(o)...)
 	}
 	rs = append(rs, route{"GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -456,8 +465,9 @@ func queryUint64(w http.ResponseWriter, r *http.Request, name string, def uint64
 //	GET    /healthz                liveness
 //
 // NewHandler additionally serves GET /metrics and per-endpoint
-// instrumentation. docs/api.md is the full reference; a test keeps it in
-// lockstep with this table.
+// instrumentation; NewObservedHandler adds request tracing and the
+// /v1/debug/* surface. docs/api.md is the full reference; a test keeps it
+// in lockstep with this table.
 //
 // Mutations are serialized through the store's commit pipeline and are
 // durable when the response arrives; reads are lock-free against published
@@ -470,11 +480,26 @@ func Handler(s API) http.Handler { return NewHandler(s, nil) }
 // histograms by method, path pattern and status code) and GET /metrics
 // serves the Prometheus text exposition.
 func NewHandler(s API, m *Metrics) http.Handler {
+	return NewObservedHandler(s, m, nil, nil)
+}
+
+// NewObservedHandler is NewHandler with operational telemetry: a non-nil
+// observer enables request tracing (X-Request-Id correlation, a span tree
+// per request) and serves GET /v1/debug/traces and GET /v1/debug/epochs; a
+// non-nil logger emits one structured line per request, stamped with the
+// request id. GET /metrics and /v1/debug/* are excluded from both latency
+// instrumentation and tracing so the scrape path cannot pollute what it
+// reads.
+func NewObservedHandler(s API, m *Metrics, o *obs.Observer, lg *slog.Logger) http.Handler {
 	mux := http.NewServeMux()
-	for _, rt := range routes(s, m) {
+	tracer := o.TracerOf()
+	for _, rt := range routes(s, m, o) {
 		h := rt.h
-		if m != nil {
-			h = m.instrument(rt.method, rt.pattern, h)
+		if instrumented(rt.pattern) {
+			if m != nil {
+				h = m.instrument(rt.method, rt.pattern, h)
+			}
+			h = observe(rt.method, rt.pattern, tracer, lg, h)
 		}
 		mux.HandleFunc(rt.method+" "+rt.pattern, h)
 	}
@@ -526,6 +551,9 @@ type epochResponse struct {
 	Services   int               `json:"services"`
 	IDs        []int             `json:"ids"`
 	Placement  vmalloc.Placement `json:"placement"`
+	// Stats carries the epoch's solve wall time, solver-tier work counters
+	// and (sharded stores) the per-shard breakdown.
+	Stats *vmalloc.EpochStats `json:"stats,omitempty"`
 }
 
 func parsePolicy(s string) (vmalloc.SchedPolicy, error) {
@@ -606,8 +634,19 @@ func mutationError(w http.ResponseWriter, err error) {
 	}
 }
 
+// errorResponse is the uniform error envelope. RequestID echoes the
+// X-Request-Id the middleware stamped on the response, so a client holding
+// a 5xx body can fetch the request's spans from GET /v1/debug/traces.
+type errorResponse struct {
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
 func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	writeJSON(w, code, errorResponse{
+		Error:     err.Error(),
+		RequestID: w.Header().Get(RequestIDHeader),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,9 +9,11 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vmalloc"
 	"vmalloc/internal/journal"
+	"vmalloc/internal/obs"
 )
 
 // ShardManifest pins the immutable facts of a sharded journal directory:
@@ -469,7 +472,25 @@ func (s *ShardedStore) begin() error {
 	return nil
 }
 
+// beginCtx is begin under a tracing context; see Store.beginCtx.
+func (s *ShardedStore) beginCtx(ctx context.Context) (obs.Span, error) {
+	apply := obs.SpanFromContext(ctx).StartChild("apply")
+	if err := s.begin(); err != nil {
+		apply.End()
+		return obs.Span{}, err
+	}
+	return apply, nil
+}
+
 func (s *ShardedStore) finish() error {
+	_, err := s.finishCtx(context.Background(), obs.Span{})
+	return err
+}
+
+// finishCtx is finish with phase spans: apply ends at unlock, the
+// cross-shard ticket waits run under a sibling "fsync_wait" span, and the
+// durability wait time is returned.
+func (s *ShardedStore) finishCtx(ctx context.Context, apply obs.Span) (waitNs int64, err error) {
 	tickets := s.tickets
 	s.tickets = nil
 	hookErr := s.hookErr
@@ -490,20 +511,29 @@ func (s *ShardedStore) finish() error {
 		}
 	}
 	s.mu.Unlock()
-	for _, t := range tickets {
-		if err := t.Wait(); err != nil {
-			return fmt.Errorf("server: journal append: %w", err)
+	apply.End()
+	if len(tickets) > 0 {
+		wait := obs.SpanFromContext(ctx).StartChild("fsync_wait")
+		wait.SetInt("records", int64(len(tickets)))
+		start := time.Now()
+		for _, t := range tickets {
+			if werr := t.Wait(); werr != nil {
+				wait.End()
+				return time.Since(start).Nanoseconds(), fmt.Errorf("server: journal append: %w", werr)
+			}
 		}
+		waitNs = time.Since(start).Nanoseconds()
+		wait.End()
 	}
 	if hookErr != nil {
-		return fmt.Errorf("server: journal append: %w", hookErr)
+		return waitNs, fmt.Errorf("server: journal append: %w", hookErr)
 	}
 	if checkpoint {
 		if _, err := s.Checkpoint(); err != nil {
-			return err
+			return waitNs, err
 		}
 	}
-	return nil
+	return waitNs, nil
 }
 
 // Add admits a service (estimate equal to the true descriptor).
@@ -534,7 +564,14 @@ func (s *ShardedStore) AddWithEstimate(trueSvc, estSvc vmalloc.Service) (id, nod
 // aborts the rest of the batch; the error return is reserved for whole-batch
 // failures (closed store, journal failure).
 func (s *ShardedStore) AddBatch(specs []AddSpec) ([]AddOutcome, error) {
-	if err := s.begin(); err != nil {
+	return s.AddBatchCtx(context.Background(), specs)
+}
+
+// AddBatchCtx is AddBatch under a tracing context: application runs under
+// an "apply" span and the per-shard group-commit waits under "fsync_wait".
+func (s *ShardedStore) AddBatchCtx(ctx context.Context, specs []AddSpec) ([]AddOutcome, error) {
+	apply, err := s.beginCtx(ctx)
+	if err != nil {
 		return nil, err
 	}
 	if s.batches == nil {
@@ -572,11 +609,17 @@ func (s *ShardedStore) AddBatch(specs []AddSpec) ([]AddOutcome, error) {
 		}
 	}
 	s.mu.Unlock()
+	apply.SetInt("records", int64(n))
+	apply.End()
+	wait := obs.SpanFromContext(ctx).StartChild("fsync_wait")
+	wait.SetInt("shards", int64(len(tickets)))
 	for _, t := range tickets {
 		if err := t.Wait(); err != nil {
+			wait.End()
 			return out, fmt.Errorf("server: journal append: %w", err)
 		}
 	}
+	wait.End()
 	if hookErr != nil {
 		return out, fmt.Errorf("server: journal append: %w", hookErr)
 	}
@@ -590,14 +633,20 @@ func (s *ShardedStore) AddBatch(specs []AddSpec) ([]AddOutcome, error) {
 
 // Remove departs a service; reports whether the id was live.
 func (s *ShardedStore) Remove(id int) (bool, error) {
-	if err := s.begin(); err != nil {
+	return s.RemoveCtx(context.Background(), id)
+}
+
+// RemoveCtx is Remove under a tracing context.
+func (s *ShardedStore) RemoveCtx(ctx context.Context, id int) (bool, error) {
+	apply, err := s.beginCtx(ctx)
+	if err != nil {
 		return false, err
 	}
 	ok := s.cluster.Remove(id)
 	if ok {
 		s.stats.Removes++
 	}
-	if err := s.finish(); err != nil {
+	if _, err := s.finishCtx(ctx, apply); err != nil {
 		return ok, err
 	}
 	return ok, nil
@@ -605,17 +654,23 @@ func (s *ShardedStore) Remove(id int) (bool, error) {
 
 // UpdateNeeds replaces a live service's fluid needs.
 func (s *ShardedStore) UpdateNeeds(id int, trueElem, trueAgg, estElem, estAgg vmalloc.Vec) error {
-	if err := s.begin(); err != nil {
+	return s.UpdateNeedsCtx(context.Background(), id, trueElem, trueAgg, estElem, estAgg)
+}
+
+// UpdateNeedsCtx is UpdateNeeds under a tracing context.
+func (s *ShardedStore) UpdateNeedsCtx(ctx context.Context, id int, trueElem, trueAgg, estElem, estAgg vmalloc.Vec) error {
+	apply, err := s.beginCtx(ctx)
+	if err != nil {
 		return err
 	}
-	err := s.cluster.UpdateNeeds(id, trueElem, trueAgg, estElem, estAgg)
+	err = s.cluster.UpdateNeeds(id, trueElem, trueAgg, estElem, estAgg)
 	if err != nil && !errors.Is(err, vmalloc.ErrUnknownService) {
 		err = invalid(err)
 	}
 	if err == nil {
 		s.stats.NeedUpdates++
 	}
-	if ferr := s.finish(); err == nil {
+	if _, ferr := s.finishCtx(ctx, apply); err == nil {
 		err = ferr
 	}
 	return err
@@ -623,16 +678,22 @@ func (s *ShardedStore) UpdateNeeds(id int, trueElem, trueAgg, estElem, estAgg vm
 
 // SetThreshold changes the mitigation threshold on every shard.
 func (s *ShardedStore) SetThreshold(th float64) error {
-	if err := s.begin(); err != nil {
+	return s.SetThresholdCtx(context.Background(), th)
+}
+
+// SetThresholdCtx is SetThreshold under a tracing context.
+func (s *ShardedStore) SetThresholdCtx(ctx context.Context, th float64) error {
+	apply, err := s.beginCtx(ctx)
+	if err != nil {
 		return err
 	}
-	err := s.cluster.SetThreshold(th)
+	err = s.cluster.SetThreshold(th)
 	if err != nil {
 		err = invalid(err)
 	} else {
 		s.stats.Threshold = th
 	}
-	if ferr := s.finish(); err == nil {
+	if _, ferr := s.finishCtx(ctx, apply); err == nil {
 		err = ferr
 	}
 	return err
@@ -642,19 +703,38 @@ func (s *ShardedStore) SetThreshold(th float64) error {
 // rebalancing); the applied placements are durable in every shard's WAL
 // when the call returns.
 func (s *ShardedStore) Reallocate() (*vmalloc.ClusterEpoch, error) {
-	return s.epoch(func(c *vmalloc.ShardedCluster) *vmalloc.ClusterEpoch { return c.Reallocate() })
+	return s.ReallocateCtx(context.Background())
+}
+
+// ReallocateCtx is Reallocate under a tracing context: the scatter-gather
+// solve runs under an "epoch" span with one "shard_epoch" child per
+// placement domain, and the epoch's phase timing plus per-shard solver
+// counters are retained in the observer's epoch ring.
+func (s *ShardedStore) ReallocateCtx(ctx context.Context) (*vmalloc.ClusterEpoch, error) {
+	return s.epochCtx(ctx, false, 0, func(ctx context.Context, c *vmalloc.ShardedCluster) *vmalloc.ClusterEpoch {
+		return c.ReallocateCtx(ctx)
+	})
 }
 
 // Repair runs one migration-bounded repair epoch per shard.
 func (s *ShardedStore) Repair(budget int) (*vmalloc.ClusterEpoch, error) {
-	return s.epoch(func(c *vmalloc.ShardedCluster) *vmalloc.ClusterEpoch { return c.Repair(budget) })
+	return s.RepairCtx(context.Background(), budget)
 }
 
-func (s *ShardedStore) epoch(run func(*vmalloc.ShardedCluster) *vmalloc.ClusterEpoch) (*vmalloc.ClusterEpoch, error) {
-	if err := s.begin(); err != nil {
+// RepairCtx is Repair under a tracing context.
+func (s *ShardedStore) RepairCtx(ctx context.Context, budget int) (*vmalloc.ClusterEpoch, error) {
+	return s.epochCtx(ctx, true, budget, func(ctx context.Context, c *vmalloc.ShardedCluster) *vmalloc.ClusterEpoch {
+		return c.RepairCtx(ctx, budget)
+	})
+}
+
+func (s *ShardedStore) epochCtx(ctx context.Context, repair bool, budget int, run func(context.Context, *vmalloc.ShardedCluster) *vmalloc.ClusterEpoch) (*vmalloc.ClusterEpoch, error) {
+	start := time.Now()
+	apply, err := s.beginCtx(ctx)
+	if err != nil {
 		return nil, err
 	}
-	ce := run(s.cluster)
+	ce := run(ctx, s.cluster)
 	s.stats.Epochs++
 	if ce.Result.Solved {
 		s.stats.Migrations += uint64(ce.Migrations)
@@ -662,8 +742,10 @@ func (s *ShardedStore) epoch(run func(*vmalloc.ShardedCluster) *vmalloc.ClusterE
 	} else {
 		s.stats.FailedEpochs++
 	}
-	if err := s.finish(); err != nil {
-		return ce, err
+	waitNs, ferr := s.finishCtx(ctx, apply)
+	recordEpoch(s.opts.Obs, ctx, start, repair, budget, ce, waitNs)
+	if ferr != nil {
+		return ce, ferr
 	}
 	return ce, nil
 }

@@ -18,15 +18,18 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vmalloc"
 	"vmalloc/internal/faultfs"
 	"vmalloc/internal/journal"
+	"vmalloc/internal/obs"
 )
 
 // Options configures a Store.
@@ -51,6 +54,11 @@ type Options struct {
 	// instead of an empty cluster (ignored when the directory already
 	// holds a journal; unsupported by sharded stores).
 	InitialState *vmalloc.ClusterState
+	// Obs receives the store's operational telemetry: commit-pipeline spans
+	// attach to traces carried by request contexts, and every epoch pushes
+	// a record (phase timing plus solver counters) into Obs.Epochs. nil
+	// disables both at zero cost.
+	Obs *obs.Observer
 
 	// Sharded-store knobs (OpenSharded only). Shards is the placement
 	// domain count on first boot (0 selects 1; later boots take it from
@@ -320,9 +328,29 @@ func (s *Store) begin() error {
 	return nil
 }
 
+// beginCtx is begin under a tracing context: the returned "apply" span
+// covers lock wait plus in-memory application and must be handed to
+// finishCtx. With no span in ctx (or tracing disabled) it is free.
+func (s *Store) beginCtx(ctx context.Context) (obs.Span, error) {
+	apply := obs.SpanFromContext(ctx).StartChild("apply")
+	if err := s.begin(); err != nil {
+		apply.End()
+		return obs.Span{}, err
+	}
+	return apply, nil
+}
+
 // finish is called with s.mu held; it releases the lock, waits for the
 // journal tickets and triggers an automatic checkpoint when due.
 func (s *Store) finish() error {
+	_, err := s.finishCtx(context.Background(), obs.Span{})
+	return err
+}
+
+// finishCtx is finish with phase spans: apply (from beginCtx) ends at
+// unlock, and the ticket waits run under a sibling "fsync_wait" span.
+// Returns the time spent waiting on durability.
+func (s *Store) finishCtx(ctx context.Context, apply obs.Span) (waitNs int64, err error) {
 	tickets := s.tickets
 	s.tickets = nil
 	checkpoint := false
@@ -336,17 +364,26 @@ func (s *Store) finish() error {
 		}
 	}
 	s.mu.Unlock()
-	for _, t := range tickets {
-		if err := t.Wait(); err != nil {
-			return fmt.Errorf("server: journal append: %w", err)
+	apply.End()
+	if len(tickets) > 0 {
+		wait := obs.SpanFromContext(ctx).StartChild("fsync_wait")
+		wait.SetInt("records", int64(len(tickets)))
+		start := time.Now()
+		for _, t := range tickets {
+			if werr := t.Wait(); werr != nil {
+				wait.End()
+				return time.Since(start).Nanoseconds(), fmt.Errorf("server: journal append: %w", werr)
+			}
 		}
+		waitNs = time.Since(start).Nanoseconds()
+		wait.End()
 	}
 	if checkpoint {
 		if _, err := s.Checkpoint(); err != nil {
-			return err
+			return waitNs, err
 		}
 	}
-	return nil
+	return waitNs, nil
 }
 
 // Add admits a service (estimate equal to the true descriptor).
@@ -377,7 +414,14 @@ func (s *Store) AddWithEstimate(trueSvc, estSvc vmalloc.Service) (id, node int, 
 // never aborts the rest of the batch; the error return is reserved for
 // whole-batch failures (closed store, journal failure).
 func (s *Store) AddBatch(specs []AddSpec) ([]AddOutcome, error) {
-	if err := s.begin(); err != nil {
+	return s.AddBatchCtx(context.Background(), specs)
+}
+
+// AddBatchCtx is AddBatch under a tracing context: application runs under
+// an "apply" span and the group-commit wait under "fsync_wait".
+func (s *Store) AddBatchCtx(ctx context.Context, specs []AddSpec) ([]AddOutcome, error) {
+	apply, err := s.beginCtx(ctx)
+	if err != nil {
 		return nil, err
 	}
 	if s.batch == nil {
@@ -411,8 +455,13 @@ func (s *Store) AddBatch(specs []AddSpec) ([]AddOutcome, error) {
 		}
 	}
 	s.mu.Unlock()
-	if err := ticket.Wait(); err != nil {
-		return out, fmt.Errorf("server: journal append: %w", err)
+	apply.SetInt("records", int64(n))
+	apply.End()
+	wait := obs.SpanFromContext(ctx).StartChild("fsync_wait")
+	werr := ticket.Wait()
+	wait.End()
+	if werr != nil {
+		return out, fmt.Errorf("server: journal append: %w", werr)
 	}
 	if batchErr != nil {
 		return out, fmt.Errorf("server: journal append: %w", batchErr)
@@ -448,14 +497,20 @@ func convertBatchResults(results []vmalloc.BatchResult, stats *Stats) (out []Add
 
 // Remove departs a service; reports whether the id was live.
 func (s *Store) Remove(id int) (bool, error) {
-	if err := s.begin(); err != nil {
+	return s.RemoveCtx(context.Background(), id)
+}
+
+// RemoveCtx is Remove under a tracing context.
+func (s *Store) RemoveCtx(ctx context.Context, id int) (bool, error) {
+	apply, err := s.beginCtx(ctx)
+	if err != nil {
 		return false, err
 	}
 	ok := s.cluster.Remove(id)
 	if ok {
 		s.stats.Removes++
 	}
-	if err := s.finish(); err != nil {
+	if _, err := s.finishCtx(ctx, apply); err != nil {
 		return ok, err
 	}
 	return ok, nil
@@ -463,17 +518,23 @@ func (s *Store) Remove(id int) (bool, error) {
 
 // UpdateNeeds replaces a live service's fluid needs.
 func (s *Store) UpdateNeeds(id int, trueElem, trueAgg, estElem, estAgg vmalloc.Vec) error {
-	if err := s.begin(); err != nil {
+	return s.UpdateNeedsCtx(context.Background(), id, trueElem, trueAgg, estElem, estAgg)
+}
+
+// UpdateNeedsCtx is UpdateNeeds under a tracing context.
+func (s *Store) UpdateNeedsCtx(ctx context.Context, id int, trueElem, trueAgg, estElem, estAgg vmalloc.Vec) error {
+	apply, err := s.beginCtx(ctx)
+	if err != nil {
 		return err
 	}
-	err := s.cluster.UpdateNeeds(id, trueElem, trueAgg, estElem, estAgg)
+	err = s.cluster.UpdateNeeds(id, trueElem, trueAgg, estElem, estAgg)
 	if err != nil && !errors.Is(err, vmalloc.ErrUnknownService) {
 		err = invalid(err)
 	}
 	if err == nil {
 		s.stats.NeedUpdates++
 	}
-	if ferr := s.finish(); err == nil {
+	if _, ferr := s.finishCtx(ctx, apply); err == nil {
 		err = ferr
 	}
 	return err
@@ -481,16 +542,22 @@ func (s *Store) UpdateNeeds(id int, trueElem, trueAgg, estElem, estAgg vmalloc.V
 
 // SetThreshold changes the mitigation threshold.
 func (s *Store) SetThreshold(th float64) error {
-	if err := s.begin(); err != nil {
+	return s.SetThresholdCtx(context.Background(), th)
+}
+
+// SetThresholdCtx is SetThreshold under a tracing context.
+func (s *Store) SetThresholdCtx(ctx context.Context, th float64) error {
+	apply, err := s.beginCtx(ctx)
+	if err != nil {
 		return err
 	}
-	err := s.cluster.SetThreshold(th)
+	err = s.cluster.SetThreshold(th)
 	if err != nil {
 		err = invalid(err)
 	} else {
 		s.stats.Threshold = th
 	}
-	if ferr := s.finish(); err == nil {
+	if _, ferr := s.finishCtx(ctx, apply); err == nil {
 		err = ferr
 	}
 	return err
@@ -499,19 +566,37 @@ func (s *Store) SetThreshold(th float64) error {
 // Reallocate runs one full reallocation epoch; the applied placement is
 // durable when the call returns.
 func (s *Store) Reallocate() (*vmalloc.ClusterEpoch, error) {
-	return s.epoch(func(c *vmalloc.Cluster) *vmalloc.ClusterEpoch { return c.Reallocate() })
+	return s.ReallocateCtx(context.Background())
+}
+
+// ReallocateCtx is Reallocate under a tracing context: the solve runs under
+// an "epoch" span and the epoch's phase timing plus solver counters are
+// retained in the observer's epoch ring.
+func (s *Store) ReallocateCtx(ctx context.Context) (*vmalloc.ClusterEpoch, error) {
+	return s.epochCtx(ctx, false, 0, func(ctx context.Context, c *vmalloc.Cluster) *vmalloc.ClusterEpoch {
+		return c.ReallocateCtx(ctx)
+	})
 }
 
 // Repair runs one migration-bounded repair epoch.
 func (s *Store) Repair(budget int) (*vmalloc.ClusterEpoch, error) {
-	return s.epoch(func(c *vmalloc.Cluster) *vmalloc.ClusterEpoch { return c.Repair(budget) })
+	return s.RepairCtx(context.Background(), budget)
 }
 
-func (s *Store) epoch(run func(*vmalloc.Cluster) *vmalloc.ClusterEpoch) (*vmalloc.ClusterEpoch, error) {
-	if err := s.begin(); err != nil {
+// RepairCtx is Repair under a tracing context.
+func (s *Store) RepairCtx(ctx context.Context, budget int) (*vmalloc.ClusterEpoch, error) {
+	return s.epochCtx(ctx, true, budget, func(ctx context.Context, c *vmalloc.Cluster) *vmalloc.ClusterEpoch {
+		return c.RepairCtx(ctx, budget)
+	})
+}
+
+func (s *Store) epochCtx(ctx context.Context, repair bool, budget int, run func(context.Context, *vmalloc.Cluster) *vmalloc.ClusterEpoch) (*vmalloc.ClusterEpoch, error) {
+	start := time.Now()
+	apply, err := s.beginCtx(ctx)
+	if err != nil {
 		return nil, err
 	}
-	ce := run(s.cluster)
+	ce := run(ctx, s.cluster)
 	s.stats.Epochs++
 	if ce.Result.Solved {
 		s.stats.Migrations += uint64(ce.Migrations)
@@ -519,10 +604,39 @@ func (s *Store) epoch(run func(*vmalloc.Cluster) *vmalloc.ClusterEpoch) (*vmallo
 	} else {
 		s.stats.FailedEpochs++
 	}
-	if err := s.finish(); err != nil {
-		return ce, err
+	waitNs, ferr := s.finishCtx(ctx, apply)
+	recordEpoch(s.opts.Obs, ctx, start, repair, budget, ce, waitNs)
+	if ferr != nil {
+		return ce, ferr
 	}
 	return ce, nil
+}
+
+// recordEpoch pushes one finished epoch into the observer's retained ring,
+// linking it to the trace the request ran under (if any).
+func recordEpoch(o *obs.Observer, ctx context.Context, start time.Time, repair bool, budget int, ce *vmalloc.ClusterEpoch, waitNs int64) {
+	ring := o.EpochsOf()
+	if ring == nil {
+		return
+	}
+	rec := obs.EpochRecord{
+		TraceID:     obs.SpanFromContext(ctx).Trace().ID(),
+		Start:       start,
+		Repair:      repair,
+		Budget:      budget,
+		Solved:      ce.Result.Solved,
+		MinYield:    ce.Result.MinYield,
+		Services:    len(ce.IDs),
+		Migrations:  ce.Migrations,
+		TotalNs:     time.Since(start).Nanoseconds(),
+		FsyncWaitNs: waitNs,
+	}
+	if st := ce.Stats; st != nil {
+		rec.SolveNs = st.SolveNs
+		rec.Solver = st.Solver
+		rec.Shards = st.Shards
+	}
+	ring.Add(rec)
 }
 
 // MinYield evaluates the current placement under the §6 error model. It

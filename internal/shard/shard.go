@@ -33,6 +33,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -40,6 +41,7 @@ import (
 
 	"vmalloc/internal/core"
 	"vmalloc/internal/engine"
+	"vmalloc/internal/obs"
 	"vmalloc/internal/sched"
 	"vmalloc/internal/vec"
 )
@@ -445,15 +447,29 @@ type Epoch struct {
 	// RebalanceMoves counts the services migrated between shards by the
 	// rebalance pass of this epoch.
 	RebalanceMoves int
+	// Stats carries the per-shard solver telemetry of this epoch (solve
+	// wall time and solver-tier work counters, rebalance re-solves
+	// included).
+	Stats *obs.EpochStats
 }
 
 // scatter runs fn over every shard concurrently (one goroutine per shard)
 // and gathers the per-shard reports. Shard engines are disjoint, so the only
-// synchronization needed is the join.
-func (r *Router) scatter(fn func(*domain) *engine.EpochReport) []*engine.EpochReport {
+// synchronization needed is the join. When ctx carries a tracing span, each
+// shard's solve runs under its own child span.
+func (r *Router) scatter(ctx context.Context, fn func(*domain) *engine.EpochReport) []*engine.EpochReport {
 	reps := make([]*engine.EpochReport, len(r.domains))
+	parent := obs.SpanFromContext(ctx)
+	run := func(s int, d *domain) *engine.EpochReport {
+		sp := parent.StartChild("shard_epoch")
+		sp.SetInt("shard", int64(s))
+		rep := fn(d)
+		sp.SetInt("services", int64(rep.Services))
+		sp.End()
+		return rep
+	}
 	if len(r.domains) == 1 {
-		reps[0] = fn(r.domains[0])
+		reps[0] = run(0, r.domains[0])
 		return reps
 	}
 	var wg sync.WaitGroup
@@ -461,7 +477,7 @@ func (r *Router) scatter(fn func(*domain) *engine.EpochReport) []*engine.EpochRe
 		wg.Add(1)
 		go func(s int, d *domain) {
 			defer wg.Done()
-			reps[s] = fn(d)
+			reps[s] = run(s, d)
 		}(s, d)
 	}
 	wg.Wait()
@@ -499,24 +515,69 @@ func (r *Router) noteEpoch(s int, rep *engine.EpochReport, repair bool, budget i
 // Reallocate runs one full reallocation epoch on every shard concurrently,
 // then a cross-shard rebalance pass when the bottleneck shard trails the
 // median yield by more than the configured gap.
-func (r *Router) Reallocate() *Epoch {
-	reps := r.scatter(func(d *domain) *engine.EpochReport { return d.eng.Reallocate() })
+func (r *Router) Reallocate() *Epoch { return r.ReallocateCtx(context.Background()) }
+
+// ReallocateCtx is Reallocate under a tracing context: each shard's solve
+// gets a child span of the span carried by ctx. The placement trajectory is
+// identical to Reallocate.
+func (r *Router) ReallocateCtx(ctx context.Context) *Epoch {
+	reps := r.scatter(ctx, func(d *domain) *engine.EpochReport { return d.eng.Reallocate() })
 	for s, rep := range reps {
 		r.noteEpoch(s, rep, false, 0)
 	}
+	first := make([]*engine.EpochReport, len(reps))
+	copy(first, reps)
 	moves, carried := r.rebalance(reps)
-	return r.merge(reps, moves, carried)
+	ep := r.merge(reps, moves, carried)
+	ep.Stats = r.epochStats(first, reps)
+	return ep
 }
 
 // Repair runs one migration-bounded repair epoch on every shard
 // concurrently; budget applies per shard (negative = unlimited). Repair
 // epochs skip the rebalance pass — they exist to bound migrations.
-func (r *Router) Repair(budget int) *Epoch {
-	reps := r.scatter(func(d *domain) *engine.EpochReport { return d.eng.Repair(budget) })
+func (r *Router) Repair(budget int) *Epoch { return r.RepairCtx(context.Background(), budget) }
+
+// RepairCtx is Repair under a tracing context.
+func (r *Router) RepairCtx(ctx context.Context, budget int) *Epoch {
+	reps := r.scatter(ctx, func(d *domain) *engine.EpochReport { return d.eng.Repair(budget) })
 	for s, rep := range reps {
 		r.noteEpoch(s, rep, true, budget)
 	}
-	return r.merge(reps, 0, 0)
+	ep := r.merge(reps, 0, 0)
+	ep.Stats = r.epochStats(reps, reps)
+	return ep
+}
+
+// epochStats folds the per-shard reports into the epoch's telemetry
+// payload. first holds each shard's initial solve, final the report left
+// after the rebalance pass (the same pointer when the shard was not
+// re-solved); a re-solved shard's counters and solve time are summed over
+// both solves while the outcome fields come from the final report.
+func (r *Router) epochStats(first, final []*engine.EpochReport) *obs.EpochStats {
+	st := &obs.EpochStats{Shards: make([]obs.ShardEpoch, len(final))}
+	for s, rep := range final {
+		se := obs.ShardEpoch{
+			Shard:      s,
+			Solved:     rep.Result.Solved,
+			Services:   rep.Services,
+			Migrations: rep.Migrations,
+			SolveNs:    rep.SolveNs,
+			Solver:     rep.Solver,
+		}
+		if rep.Result.Solved && rep.Services > 0 {
+			se.MinYield = rep.Result.MinYield
+		}
+		if fr := first[s]; fr != rep {
+			se.SolveNs += fr.SolveNs
+			se.Solver.Add(fr.Solver)
+			se.Migrations += fr.Migrations
+		}
+		st.SolveNs += se.SolveNs
+		st.Solver.Add(se.Solver)
+		st.Shards[s] = se
+	}
+	return st
 }
 
 // rebalance migrates services out of the bottleneck shard when its yield

@@ -75,6 +75,35 @@ type Solver struct {
 
 	yield     float64
 	haveYield bool
+
+	// stats counts packing work since the last TakeStats. Plain fields, not
+	// atomics: a Solver is single-threaded by contract (parallel meta search
+	// gives each worker its own Solver), and the pack loop must stay
+	// allocation- and contention-free.
+	stats Stats
+}
+
+// Stats counts a Solver's work: packing attempts, successful packs, and
+// meta steps pruned by the StepFeasible bound before any strategy ran.
+type Stats struct {
+	Packs       uint64
+	PacksSolved uint64
+	StepsPruned uint64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Packs += o.Packs
+	s.PacksSolved += o.PacksSolved
+	s.StepsPruned += o.StepsPruned
+}
+
+// TakeStats returns the counters accumulated since the last call and resets
+// them. Call between epochs from the goroutine that owns the Solver.
+func (s *Solver) TakeStats() Stats {
+	st := s.stats
+	s.stats = Stats{}
+	return st
 }
 
 // itemOrderEntry caches one item-order permutation. invariant entries stay
@@ -270,6 +299,7 @@ func (s *Solver) StepFeasible(y float64) bool {
 		margin := float64(numNodes)*core.DefaultEpsilon + 1e-9 +
 			fpSlack*(cap+s.reqTotal[d]+s.needTotal[d])
 		if s.reqTotal[d]+y*s.needTotal[d] > cap+margin {
+			s.stats.StepsPruned++
 			return false
 		}
 	}
@@ -283,6 +313,7 @@ func (s *Solver) StepFeasible(y float64) bool {
 			}
 		}
 		if !ok {
+			s.stats.StepsPruned++
 			return false
 		}
 	}
@@ -290,19 +321,26 @@ func (s *Solver) StepFeasible(y float64) bool {
 }
 
 func (s *Solver) pack(done <-chan struct{}, y float64, c Config) (core.Placement, bool) {
+	s.stats.Packs++
 	s.prepare(y)
 	s.ensureElemFit()
 	items := s.itemOrderPerm(c.ItemOrder)
+	var pl core.Placement
+	var ok bool
 	switch c.Alg {
 	case FirstFit:
-		return s.packFirstFit(done, items, c)
+		pl, ok = s.packFirstFit(done, items, c)
 	case BestFit:
-		return s.packBestFit(done, items, c)
+		pl, ok = s.packBestFit(done, items, c)
 	case PermutationPack, ChoosePack:
-		return s.packByBins(done, items, c)
+		pl, ok = s.packByBins(done, items, c)
 	default:
 		panic("vp: unknown algorithm")
 	}
+	if ok {
+		s.stats.PacksSolved++
+	}
+	return pl, ok
 }
 
 // binOrderPerm returns bin indices sorted by aggregate capacity under o,

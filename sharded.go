@@ -1,6 +1,7 @@
 package vmalloc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -279,10 +280,22 @@ func (c *ShardedCluster) Reallocate() *ClusterEpoch {
 	return shardedEpoch(c.r.Reallocate())
 }
 
+// ReallocateCtx is Reallocate under a tracing context: each shard's solve
+// runs under its own child span of the span carried by ctx. The placement
+// trajectory is identical to Reallocate.
+func (c *ShardedCluster) ReallocateCtx(ctx context.Context) *ClusterEpoch {
+	return shardedEpoch(c.r.ReallocateCtx(ctx))
+}
+
 // Repair runs one migration-bounded repair epoch per shard (budget applies
 // per shard; negative = unlimited). Repair skips the rebalance pass.
 func (c *ShardedCluster) Repair(budget int) *ClusterEpoch {
 	return shardedEpoch(c.r.Repair(budget))
+}
+
+// RepairCtx is Repair under a tracing context; see ReallocateCtx.
+func (c *ShardedCluster) RepairCtx(ctx context.Context, budget int) *ClusterEpoch {
+	return shardedEpoch(c.r.RepairCtx(ctx, budget))
 }
 
 func shardedEpoch(ep *shard.Epoch) *ClusterEpoch {
@@ -290,6 +303,7 @@ func shardedEpoch(ep *shard.Epoch) *ClusterEpoch {
 		Result:     ep.Result,
 		IDs:        append([]int(nil), ep.IDs...),
 		Migrations: ep.Migrations,
+		Stats:      ep.Stats,
 	}
 }
 
