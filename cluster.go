@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"vmalloc/internal/engine"
 	"vmalloc/internal/obs"
@@ -101,6 +102,7 @@ func NewCluster(nodes []Node, opts *ClusterOptions) (*Cluster, error) {
 		Parallel:   opts.Parallel,
 		Workers:    opts.Workers,
 		UseLPBound: opts.UseLPBound,
+		Now:        time.Now,
 	})
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package vmalloc
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"vmalloc/internal/engine"
 )
@@ -198,6 +199,7 @@ func RestoreCluster(st *ClusterState, opts *ClusterOptions) (*Cluster, error) {
 		Parallel:   opts.Parallel,
 		Workers:    opts.Workers,
 		UseLPBound: opts.UseLPBound,
+		Now:        time.Now,
 	}, &st.State)
 	if err != nil {
 		return nil, err

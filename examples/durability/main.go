@@ -18,7 +18,6 @@ package main
 import (
 	"bytes"
 	"fmt"
-	"log"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -32,7 +31,7 @@ import (
 func main() {
 	dir, err := os.MkdirTemp("", "vmalloc-durability-")
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	defer os.RemoveAll(dir)
 
@@ -44,7 +43,7 @@ func main() {
 	// the walkthrough also exercises checkpoint compaction.
 	st, err := server.Open(dir, nodes, &server.Options{SnapshotEvery: 16})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	rng := rand.New(rand.NewSource(99))
 	var live []int
@@ -60,14 +59,14 @@ func main() {
 		}
 		if i%10 == 9 {
 			if _, err := st.Reallocate(); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 	}
 	stats := st.Stats()
 	_, before, err := st.State()
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("before the crash: %d live services, %d journaled records, %d checkpoints, min yield %.4f\n",
 		stats.Services, stats.Records, stats.Snapshots, stats.LastMinYield)
@@ -77,7 +76,7 @@ func main() {
 	// power cut mid-append leaves behind.
 	st.Kill()
 	if err := tearTail(dir); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Println("crashed: journal abandoned with a torn record on the tail")
 
@@ -85,13 +84,13 @@ func main() {
 	// all come from the journal directory; nothing else is needed.
 	st2, err := server.Open(dir, nil, &server.Options{SnapshotEvery: 16})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	defer st2.Close()
 	rstats := st2.Stats()
 	_, after, err := st2.State()
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("recovered: %d services via snapshot seq %d + %d replayed records (%d torn bytes truncated)\n",
 		rstats.Services, rstats.SnapshotSeq, rstats.Replayed, rstats.TruncatedBytes)
@@ -109,7 +108,7 @@ func main() {
 	}
 	if len(live) > 0 {
 		if _, err := st2.Remove(live[0]); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("post-recovery departure: service %d removed, %d live\n",
 			live[0], st2.Stats().Services)
@@ -135,4 +134,11 @@ func tearTail(dir string) error {
 	defer f.Close()
 	_, err = f.Write([]byte{0x30, 0x00, 0x00, 0x00, 0x11, 0x22, 0x33})
 	return err
+}
+
+// fatal reports err on stderr and exits nonzero; examples avoid the global
+// log package, which the slogonly analyzer confines to cmd/.
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, v)
+	os.Exit(1)
 }

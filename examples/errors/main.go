@@ -7,7 +7,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"vmalloc"
 )
@@ -19,7 +19,7 @@ func main() {
 	// Perfect knowledge: place with the true needs.
 	ideal, err := vmalloc.Solve(vmalloc.AlgoMetaHVPLight, trueP, nil)
 	if err != nil || !ideal.Solved {
-		log.Fatal("ideal placement failed")
+		fatal("ideal placement failed")
 	}
 	fmt.Printf("perfect knowledge min yield: %.4f\n", ideal.MinYield)
 
@@ -39,7 +39,7 @@ func main() {
 		// No mitigation: place with raw erroneous estimates.
 		res, err := vmalloc.Solve(vmalloc.AlgoMetaHVPLight, est, nil)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if res.Solved {
 			for _, pol := range []vmalloc.SchedPolicy{
@@ -55,7 +55,7 @@ func main() {
 		mit := vmalloc.ApplyThreshold(est, 0, 0.1)
 		resM, err := vmalloc.Solve(vmalloc.AlgoMetaHVPLight, mit, nil)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if resM.Solved {
 			row += fmt.Sprintf("   %.4f", vmalloc.EvaluateWithErrors(trueP, mit, resM.Placement, vmalloc.PolicyAllocWeights, 0))
@@ -65,4 +65,11 @@ func main() {
 		}
 		fmt.Println(row)
 	}
+}
+
+// fatal reports err on stderr and exits nonzero; examples avoid the global
+// log package, which the slogonly analyzer confines to cmd/.
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, v)
+	os.Exit(1)
 }

@@ -14,7 +14,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"vmalloc"
 )
@@ -40,7 +40,7 @@ func main() {
 		for _, algo := range []string{vmalloc.AlgoMetaVP, vmalloc.AlgoMetaHVPLight} {
 			res, err := vmalloc.Solve(algo, q, nil)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			if res.Solved {
 				row += fmt.Sprintf("   %.4f", res.MinYield)
@@ -78,4 +78,11 @@ func addServices(p *vmalloc.Problem, j int) {
 			NeedAgg:  vmalloc.Of(perCore*float64(cores), 0),
 		})
 	}
+}
+
+// fatal reports err on stderr and exits nonzero; examples avoid the global
+// log package, which the slogonly analyzer confines to cmd/.
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, v)
+	os.Exit(1)
 }

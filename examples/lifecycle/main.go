@@ -7,8 +7,8 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"math/rand"
+	"os"
 
 	"vmalloc/internal/platform"
 	"vmalloc/internal/workload"
@@ -42,9 +42,16 @@ func main() {
 		cfg.Threshold = mode.th
 		st, err := platform.Run(cfg)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("%-20s %.4f           %-12d %-12d %d\n",
 			mode.name, st.MeanMinYield(), st.Migrations, st.Rejections, st.FailedEpoch)
 	}
+}
+
+// fatal reports err on stderr and exits nonzero; examples avoid the global
+// log package, which the slogonly analyzer confines to cmd/.
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, v)
+	os.Exit(1)
 }

@@ -7,7 +7,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"vmalloc"
 )
@@ -39,10 +39,10 @@ func main() {
 
 	res, err := vmalloc.Solve(vmalloc.AlgoMetaHVPLight, p, nil)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if !res.Solved {
-		log.Fatal("no feasible placement")
+		fatal("no feasible placement")
 	}
 
 	fmt.Printf("minimum yield: %.3f\n", res.MinYield)
@@ -61,4 +61,11 @@ func main() {
 	if err == nil && exact.Solved {
 		fmt.Printf("exact optimum:  %.3f\n", exact.MinYield)
 	}
+}
+
+// fatal reports err on stderr and exits nonzero; examples avoid the global
+// log package, which the slogonly analyzer confines to cmd/.
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, v)
+	os.Exit(1)
 }

@@ -10,7 +10,6 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 
@@ -24,21 +23,21 @@ func main() {
 	// file; the ingestion below is format-identical either way.
 	dir, err := os.MkdirTemp("", "tracedriven")
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	defer os.RemoveAll(dir)
 	path := filepath.Join(dir, "task_events.csv")
 	if err := trace.WriteFile(path, trace.Synthesize(5000, 7)); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	recs, err := trace.ReadFile(path)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	emp, err := trace.Extract(recs)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("trace: %d records, %d usable submissions\n", len(recs), len(emp.MemFracs))
 	fmt.Printf("core-count marginal: values %v weights", emp.CoreValues)
@@ -59,7 +58,7 @@ func main() {
 	// arenas warm while services stream in and out.
 	cluster, err := vmalloc.NewCluster(p.Nodes, nil)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	const wave = 20
 	var ids []int
@@ -73,7 +72,7 @@ func main() {
 		for _, svc := range p.Services[start:end] {
 			id, ok, err := cluster.Add(svc)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			if ok {
 				ids = append(ids, id)
@@ -103,4 +102,11 @@ func main() {
 	imp := vmalloc.Improve(snap, pl)
 	fmt.Printf("final local-search improvement: min yield %.4f (%d migrations)\n",
 		imp.MinYield, vmalloc.Migrations(pl, imp.Placement))
+}
+
+// fatal reports err on stderr and exits nonzero; examples avoid the global
+// log package, which the slogonly analyzer confines to cmd/.
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, v)
+	os.Exit(1)
 }

@@ -1,0 +1,160 @@
+// Package atest replays analysistest-style fixtures against the lintkit
+// analyzers without depending on golang.org/x/tools. A fixture is a
+// directory of Go files forming one package; lines that should be flagged
+// carry a trailing `// want "regexp"` comment (several quoted regexps allowed
+// on one line). Run typechecks the fixture with the source importer — so
+// fixtures may import the standard library — runs the analyzers, and fails
+// the test on any missed, unexpected, or mismatched diagnostic.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vmalloc/internal/analysis/lintkit"
+)
+
+// want is one expectation: a diagnostic matching rx at (file, line).
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+// Run analyzes the fixture package in dir as if its import path were
+// pkgPath (so package-scoped analyzers such as detrange see the path they
+// police) and asserts the diagnostics equal the `// want` expectations.
+func Run(t *testing.T, dir, pkgPath string, analyzers ...*lintkit.Analyzer) {
+	t.Helper()
+	diags, fset, files, err := analyze(dir, pkgPath, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants, err := collectWants(fset, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// Analyze runs the analyzers over the fixture package in dir under pkgPath
+// and returns the surviving (post-suppression) diagnostics. Tests that need
+// to assert on diagnostics programmatically — e.g. the suppression meta-test
+// — use this instead of want-comments.
+func Analyze(dir, pkgPath string, analyzers ...*lintkit.Analyzer) ([]lintkit.Diagnostic, error) {
+	diags, _, _, err := analyze(dir, pkgPath, analyzers)
+	return diags, err
+}
+
+// analyze parses, typechecks and runs the suite over the fixture.
+func analyze(dir, pkgPath string, analyzers []*lintkit.Analyzer) ([]lintkit.Diagnostic, *token.FileSet, []*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("atest: no Go files in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return fset.Position(files[i].Pos()).Filename < fset.Position(files[j].Pos()).Filename
+	})
+	info := lintkit.NewInfo()
+	conf := types.Config{
+		// The source importer compiles imports from GOROOT source, so
+		// fixtures can use os/time/math-rand without prebuilt export data.
+		Importer: importer.ForCompiler(fset, "source", nil),
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("atest: typechecking %s: %w", dir, err)
+	}
+	diags, err := lintkit.RunPackage(analyzers, fset, files, pkg, info, pkgPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return diags, fset, files, nil
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// collectWants parses the `// want "rx" ["rx" ...]` comments.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					if rest[0] != '"' && rest[0] != '`' {
+						return nil, fmt.Errorf("%s:%d: malformed want clause %q", pos.Filename, pos.Line, rest)
+					}
+					end := strings.IndexByte(rest[1:], rest[0])
+					if end < 0 {
+						return nil, fmt.Errorf("%s:%d: unterminated want pattern", pos.Filename, pos.Line)
+					}
+					quoted := rest[:end+2]
+					rest = strings.TrimSpace(rest[end+2:])
+					pat, err := strconv.Unquote(quoted)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, quoted, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// matchWant consumes the first unmatched expectation matching d.
+func matchWant(wants []*want, d lintkit.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+// Package detrange forbids `for range` over maps in determinism-critical
+// packages. Go randomizes map iteration order on purpose; any decision,
+// journal record, or merged statistic derived from an unordered walk differs
+// between the run that wrote the WAL and the replay that consumes it, between
+// the K-sharded park and its K=1 golden twin, and between a leader and its
+// followers. The fix is to iterate a sorted key slice; sites that provably
+// cannot influence replayed state carry a //vmalloc:nondet-ok justification.
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vmalloc/internal/analysis/lintkit"
+)
+
+// Analyzer is the detrange invariant.
+var Analyzer = &lintkit.Analyzer{
+	Name: "detrange",
+	Doc: "forbid map iteration in determinism-critical packages " +
+		"(engine, vp, shard, journal, lp, milp, presolve): map order is " +
+		"randomized, so anything derived from it breaks WAL replay, K=1 " +
+		"equivalence and follower state. Iterate sorted keys instead, or " +
+		"annotate with //vmalloc:nondet-ok <reason>.",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if !lintkit.IsDeterminismCritical(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if isMap(tv.Type) {
+				pass.Reportf(rng.Range, "range over map %s in determinism-critical package %s: iteration order is randomized; iterate a sorted key slice",
+					types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), pass.PkgPath)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isMap reports whether t ranges in map order: a map type, or a type
+// parameter whose core type is a map.
+func isMap(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Map:
+		return true
+	case *types.Interface:
+		// A generic range over a type-parameter constraint with a map core
+		// type iterates in map order too.
+		if u.NumEmbeddeds() == 0 {
+			return false
+		}
+		allMaps := true
+		for i := 0; i < u.NumEmbeddeds(); i++ {
+			if _, ok := u.EmbeddedType(i).Underlying().(*types.Map); !ok {
+				allMaps = false
+			}
+		}
+		return allMaps
+	}
+	return false
+}

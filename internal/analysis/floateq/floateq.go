@@ -1,0 +1,102 @@
+// Package floateq flags == and != between floating-point operands. PR 2's
+// order-invariance work established the repo rule: yield and load comparisons
+// must go through magnitude-relative margin helpers, because two
+// algebraically equal float expressions routinely differ in the last ulp
+// once evaluation order changes (warm vs cold LP starts, sharded vs K=1
+// merges). Exact float equality is allowed only inside approved margin/
+// epsilon helpers (where the comparison IS the tolerance implementation),
+// for the x != x NaN idiom, and at sites annotated //vmalloc:nondet-ok with
+// a reason (e.g. comparing a value against an exact sentinel it was
+// assigned, or bit-identity replay checks).
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"vmalloc/internal/analysis/lintkit"
+)
+
+// Analyzer is the floateq invariant.
+var Analyzer = &lintkit.Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= on floating-point operands outside approved margin " +
+		"helpers: use a magnitude-relative margin (the PR 2 FP-robustness " +
+		"rule), or annotate exact-sentinel/bit-identity sites with " +
+		"//vmalloc:nondet-ok <reason>. The x != x NaN idiom is allowed.",
+	Run: run,
+}
+
+// approvedHelper reports whether a comparison inside the named function is
+// the implementation of a tolerance, not a use of exact equality: margin,
+// epsilon and approx helpers own their float comparisons.
+func approvedHelper(name string) bool {
+	lower := strings.ToLower(name)
+	for _, frag := range []string{"approx", "margin", "eps", "tol", "near", "close"} {
+		if strings.Contains(lower, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if approvedHelper(fn.Name.Name) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				// Comparisons inside a nested margin-helper closure are not
+				// reachable this way (closures are anonymous); only named
+				// declarations get the helper exemption.
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(pass.TypesInfo, bin.X) || !isFloat(pass.TypesInfo, bin.Y) {
+					return true
+				}
+				if sameExpr(bin.X, bin.Y) {
+					return true // x != x: the NaN test, exact by definition
+				}
+				pass.Reportf(bin.OpPos, "float %s comparison: use a magnitude-relative margin helper, or annotate an exact-sentinel check with %s <reason>",
+					bin.Op, lintkit.SuppressionPrefix)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sameExpr reports whether two expressions are the identical simple operand
+// (covers the `x != x` and `f.v == f.v` NaN-test shapes).
+func sameExpr(a, b ast.Expr) bool {
+	switch x := a.(type) {
+	case *ast.Ident:
+		y, ok := b.(*ast.Ident)
+		return ok && x.Name == y.Name
+	case *ast.SelectorExpr:
+		y, ok := b.(*ast.SelectorExpr)
+		return ok && x.Sel.Name == y.Sel.Name && sameExpr(x.X, y.X)
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+// Package noclock bans wall-clock reads and ambient randomness in
+// determinism-critical packages. The solver and commit pipeline must be pure
+// functions of the instance: time enters only through injected seams (the
+// engine's Now hook, the platform driver that owns simulated time) and
+// randomness only through deterministic hashes (the splitmix64 admission
+// hash keyed on (seed,id)). A stray time.Now or math/rand draw changes
+// decisions between the original run and WAL replay.
+package noclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"vmalloc/internal/analysis/lintkit"
+)
+
+// Analyzer is the noclock invariant.
+var Analyzer = &lintkit.Analyzer{
+	Name: "noclock",
+	Doc: "forbid time.Now/time.Since/time.Until and the math/rand packages " +
+		"in determinism-critical packages: time and randomness must enter " +
+		"through injected seams (engine Now hook, splitmix64 admission " +
+		"hash), never ambiently.",
+	Run: run,
+}
+
+// bannedTimeFuncs are the wall-clock entry points; the time package's types
+// and constants (Duration arithmetic, formatting) remain fine.
+var bannedTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func run(pass *lintkit.Pass) error {
+	if !lintkit.IsDeterminismCritical(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in determinism-critical package %s: randomness must be a deterministic function of the instance (e.g. the splitmix64 admission hash)",
+					path, pass.PkgPath)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			if bannedTimeFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "time.%s in determinism-critical package %s: wall-clock reads must come through an injected seam",
+					sel.Sel.Name, pass.PkgPath)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+// Package analysis aggregates the vmalloc invariant suite: the five
+// determinism/durability analyzers run by cmd/vmalloc-lint under
+// `go vet -vettool`. See docs/analysis.md for the rules and the
+// //vmalloc:nondet-ok suppression contract.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"vmalloc/internal/analysis/detrange"
+	"vmalloc/internal/analysis/floateq"
+	"vmalloc/internal/analysis/lintkit"
+	"vmalloc/internal/analysis/noclock"
+	"vmalloc/internal/analysis/slogonly"
+	"vmalloc/internal/analysis/syncorder"
+)
+
+// All is the invariant suite in documentation order.
+var All = []*lintkit.Analyzer{
+	detrange.Analyzer,
+	noclock.Analyzer,
+	floateq.Analyzer,
+	syncorder.Analyzer,
+	slogonly.Analyzer,
+}
+
+// RunVet applies the whole suite to one typed package, with suppression
+// filtering and the empty-reason meta-check applied.
+func RunVet(fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, pkgPath string) ([]lintkit.Diagnostic, error) {
+	return lintkit.RunPackage(All, fset, files, pkg, info, pkgPath)
+}

@@ -1,0 +1,39 @@
+// Package slogonly bans the global log package outside cmd/. Library and
+// server code logs through log/slog (internal/obs.NewLogger wires level,
+// format and request ids); the unstructured global logger bypasses all of
+// that, races with the daemon's JSON output, and cannot carry request_id.
+// This replaces the PR 9 CI grep for `log.Print` with a real import-level
+// check that also catches log.Fatal, log.New, and friends.
+package slogonly
+
+import (
+	"strconv"
+	"strings"
+
+	"vmalloc/internal/analysis/lintkit"
+)
+
+// Analyzer is the slogonly invariant.
+var Analyzer = &lintkit.Analyzer{
+	Name: "slogonly",
+	Doc: "forbid importing the global log package outside cmd/: use " +
+		"log/slog (internal/obs.NewLogger) so output stays structured and " +
+		"carries request ids.",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if strings.HasPrefix(pass.PkgPath, "vmalloc/cmd/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path != "log" {
+				continue
+			}
+			pass.Reportf(imp.Pos(), `import of the global "log" package outside cmd/: use log/slog (internal/obs.NewLogger) instead`)
+		}
+	}
+	return nil
+}

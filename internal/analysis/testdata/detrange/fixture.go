@@ -1,0 +1,48 @@
+// Fixture for the detrange analyzer, typechecked as a determinism-critical
+// package (vmalloc/internal/engine).
+package fixture
+
+import "sort"
+
+// flaggedRanges exercises the flagged shapes: direct map ranges.
+func flaggedRanges(m map[int]string, set map[string]bool) int {
+	n := 0
+	for k := range m { // want "range over map"
+		n += k
+	}
+	for s := range set { // want "range over map"
+		n += len(s)
+	}
+	return n
+}
+
+// cleanRanges shows the sanctioned patterns: slices, channels, and sorted
+// key extraction.
+func cleanRanges(m map[int]string, xs []int, ch chan int) int {
+	n := 0
+	keys := make([]int, 0, len(m))
+	//vmalloc:nondet-ok keys are collected into a slice and sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		n += k
+	}
+	for _, x := range xs {
+		n += x
+	}
+	for x := range ch {
+		n += x
+	}
+	return n
+}
+
+// suppressedTrailing shows the trailing-comment suppression shape.
+func suppressedTrailing(m map[int]int) int {
+	n := 0
+	for k := range m { //vmalloc:nondet-ok per-key writes are independent; result is order-free
+		n += k
+	}
+	return n
+}

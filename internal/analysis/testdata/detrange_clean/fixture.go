@@ -1,0 +1,12 @@
+// Fixture for the detrange analyzer, typechecked as a package outside the
+// determinism-critical set (vmalloc/internal/obs): map iteration is allowed
+// and nothing is flagged.
+package fixture
+
+func freeRange(m map[int]string) int {
+	n := 0
+	for k := range m {
+		n += k
+	}
+	return n
+}

@@ -1,0 +1,48 @@
+// Fixture for the floateq analyzer. The rule applies in every package, so
+// the impersonated import path does not matter here.
+package fixture
+
+// flaggedCompares exercises ==/!= between distinct float operands.
+func flaggedCompares(a, b float64, f float32) bool {
+	if a == b { // want "float == comparison"
+		return true
+	}
+	if f != float32(a) { // want "float != comparison"
+		return true
+	}
+	return a+1 == b*2 // want "float == comparison"
+}
+
+// cleanCompares shows the allowed shapes: integer equality, float
+// ordering, and the x != x NaN idiom.
+func cleanCompares(i, j int, a float64) bool {
+	if i == j {
+		return true
+	}
+	if a < 1 || a > 2 {
+		return true
+	}
+	return a != a // NaN test: exact by definition
+}
+
+// approxEqual is a margin helper by name: it owns its exact comparison
+// (the fast path before the relative test).
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= tol
+}
+
+// withinTolerance is exempt through the "tol" fragment.
+func withinTolerance(a, b float64) bool { return a == b }
+
+// sentinels shows the suppression shape for exact sentinel checks.
+func sentinels(threshold float64) bool {
+	const adaptive = -1
+	return threshold == adaptive //vmalloc:nondet-ok adaptive is an exact sentinel constant, never computed
+}

@@ -1,0 +1,23 @@
+// Fixture for the noclock analyzer, typechecked as a determinism-critical
+// package (vmalloc/internal/vp).
+package fixture
+
+import (
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+// flaggedClock reads the ambient wall clock two ways.
+func flaggedClock() time.Duration {
+	start := time.Now() // want `time\.Now`
+	_ = rand.Int()
+	return time.Since(start) // want `time\.Since`
+}
+
+// cleanClock shows the sanctioned patterns: injected clocks and pure
+// time.Duration arithmetic.
+func cleanClock(now func() time.Time) time.Duration {
+	start := now()
+	d := now().Sub(start)
+	return d + 5*time.Millisecond
+}

@@ -1,0 +1,13 @@
+// Fixture for the slogonly analyzer, typechecked as a library package
+// (vmalloc/internal/demo): the global log package is banned.
+package fixture
+
+import (
+	"log" // want `import of the global "log" package outside cmd/`
+	"log/slog"
+)
+
+func logs() {
+	log.Println("unstructured")
+	slog.Info("structured")
+}

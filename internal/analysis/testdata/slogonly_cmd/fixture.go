@@ -1,0 +1,7 @@
+// Fixture for the slogonly analyzer, typechecked as a main package under
+// cmd/ (vmalloc/cmd/demo): entry points may use the global logger.
+package fixture
+
+import "log"
+
+func logs() { log.Println("fine here") }

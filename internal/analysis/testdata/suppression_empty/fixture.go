@@ -1,0 +1,14 @@
+// Fixture for the suppression meta-rule: a //vmalloc:nondet-ok comment with
+// no reason still waives the underlying finding but is itself reported, so
+// content-free suppressions cannot land. Asserted programmatically by
+// TestEmptySuppressionReasonIsFlagged (want-comments would also have to
+// predict the meta-finding).
+package fixture
+
+func emptyReason(m map[int]int) int {
+	n := 0
+	for k := range m { //vmalloc:nondet-ok
+		n += k
+	}
+	return n
+}

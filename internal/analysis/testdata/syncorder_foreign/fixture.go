@@ -1,0 +1,23 @@
+// Fixture for the syncorder foreign-sync rule, typechecked as a package
+// outside internal/journal (vmalloc/internal/server).
+package fixture
+
+import "os"
+
+// flaggedSync fsyncs a file outside the journal.
+func flaggedSync(f *os.File) error {
+	return f.Sync() // want "Sync on [*]os.File outside vmalloc/internal/journal"
+}
+
+// flaggedValueSync covers the value-receiver spelling.
+func flaggedValueSync(f os.File) error {
+	return f.Sync() // want "Sync on os.File outside vmalloc/internal/journal"
+}
+
+// waitGroup has its own Sync method; calling it is fine — only the durable
+// file types are policed.
+type waitGroup struct{ n int }
+
+func (w *waitGroup) Sync() { w.n = 0 }
+
+func cleanSync(w *waitGroup) { w.Sync() }

@@ -1,0 +1,30 @@
+// Fixture for the syncorder ack-ordering rule, typechecked as the journal
+// package itself (vmalloc/internal/journal).
+package fixture
+
+// commit stands in for the journal's fsync-wrapping commit helper; the
+// analyzer recognizes it by name.
+func commit() {}
+
+// ackBeforeSync acknowledges a waiter before the fsync: the torn-frame
+// hazard the rule exists for.
+func ackBeforeSync(ch chan error) {
+	ch <- nil // want "channel send before the fsync call"
+	commit()
+}
+
+// ackAfterSync is the correct order: fsync first, ack second.
+func ackAfterSync(ch chan error) {
+	commit()
+	ch <- nil
+}
+
+// ackWithoutSync never syncs, so its early sends are fine (the journal's
+// fast-fail error acks take this shape).
+func ackWithoutSync(ch chan error, err error) {
+	if err != nil {
+		ch <- err
+		return
+	}
+	ch <- nil
+}

@@ -29,7 +29,7 @@ func appendJSONFloat(b []byte, f float64) ([]byte, error) {
 	}
 	abs := math.Abs(f)
 	format := byte('f')
-	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) { //vmalloc:nondet-ok exact-zero/threshold test selecting a formatting branch, not an arithmetic comparison
 		format = 'e'
 	}
 	b = strconv.AppendFloat(b, f, format, -1, 64)

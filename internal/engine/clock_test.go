@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestInjectedClockTimesEpochs proves the Config.Now seam: the engine never
+// reads the wall clock itself, so SolveNs is exactly the delta the injected
+// clock reports, and a nil clock yields SolveNs == 0.
+func TestInjectedClockTimesEpochs(t *testing.T) {
+	base := time.Unix(1000, 0)
+	tick := 0
+	fake := func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * 5 * time.Millisecond)
+	}
+
+	e := newTestEngine(t, Config{Nodes: testNodes(4), Now: fake})
+	svc := randService(rand.New(rand.NewSource(1)))
+	if _, _, ok := e.Add(svc, svc); !ok {
+		t.Fatal("admission rejected")
+	}
+
+	rep := e.Reallocate()
+	if !rep.Result.Solved {
+		t.Fatal("reallocation failed")
+	}
+	if want := int64(5 * time.Millisecond); rep.SolveNs != want {
+		t.Fatalf("SolveNs = %d, want %d (one fake-clock tick)", rep.SolveNs, want)
+	}
+
+	rep = e.Repair(-1)
+	if !rep.Result.Solved {
+		t.Fatal("repair failed")
+	}
+	if want := int64(5 * time.Millisecond); rep.SolveNs != want {
+		t.Fatalf("repair SolveNs = %d, want %d (one fake-clock tick)", rep.SolveNs, want)
+	}
+}
+
+// TestNilClockReportsZeroSolveNs pins the no-clock default: an engine built
+// without Config.Now must not fall back to the wall clock.
+func TestNilClockReportsZeroSolveNs(t *testing.T) {
+	e := newTestEngine(t, Config{Nodes: testNodes(4)})
+	svc := randService(rand.New(rand.NewSource(2)))
+	if _, _, ok := e.Add(svc, svc); !ok {
+		t.Fatal("admission rejected")
+	}
+	rep := e.Reallocate()
+	if !rep.Result.Solved {
+		t.Fatal("reallocation failed")
+	}
+	if rep.SolveNs != 0 {
+		t.Fatalf("SolveNs = %d without an injected clock, want 0", rep.SolveNs)
+	}
+}

@@ -89,6 +89,13 @@ type Config struct {
 	// previous epoch's optimal basis. The relaxation solve is far from free —
 	// enable it only when the roster/tolerance make packing dominate.
 	UseLPBound bool
+	// Now is the injected wall clock used solely to stamp
+	// EpochReport.SolveNs; nil leaves SolveNs zero. The engine is
+	// determinism-critical (its decisions are replayed from the WAL), so it
+	// never reads the clock itself — time enters only through this seam,
+	// wired to time.Now by the clock-owning callers (vmalloc.Cluster, the
+	// platform driver, the shard router's own injected clock).
+	Now func() time.Time
 }
 
 // slot is one slab entry.
@@ -582,9 +589,9 @@ func (e *Engine) Reallocate() *EpochReport {
 		rep.Result = &core.Result{Solved: true}
 		return rep
 	}
-	start := time.Now()
+	start := e.clockNow()
 	rep.Result = e.solve()
-	rep.SolveNs = time.Since(start).Nanoseconds()
+	rep.SolveNs = e.clockSince(start)
 	rep.Solver = e.takeSolverStats()
 	if rep.Result.Solved {
 		rep.Migrations = e.apply(rep.Result)
@@ -602,17 +609,36 @@ func (e *Engine) Repair(budget int) *EpochReport {
 		rep.Result = &core.Result{Solved: true}
 		return rep
 	}
-	start := time.Now()
+	start := e.clockNow()
 	rep.Result = opt.Repair(&e.estP, e.placeBuf, &opt.RepairOptions{
 		Budget:  budget,
 		Improve: true,
 	})
-	rep.SolveNs = time.Since(start).Nanoseconds()
+	rep.SolveNs = e.clockSince(start)
 	rep.Solver = e.takeSolverStats()
 	if rep.Result.Solved {
 		rep.Migrations = e.apply(rep.Result)
 	}
 	return rep
+}
+
+// clockNow reads the injected clock, or the zero time when no clock was
+// wired (SolveNs then reports zero — the engine itself never calls
+// time.Now; see Config.Now).
+func (e *Engine) clockNow() time.Time {
+	if e.cfg.Now == nil {
+		return time.Time{}
+	}
+	return e.cfg.Now()
+}
+
+// clockSince returns the elapsed nanoseconds since start on the injected
+// clock, or zero without one.
+func (e *Engine) clockSince(start time.Time) int64 {
+	if e.cfg.Now == nil {
+		return 0
+	}
+	return e.cfg.Now().Sub(start).Nanoseconds()
 }
 
 // Snapshot returns a deep copy of the cluster as a placement problem: the

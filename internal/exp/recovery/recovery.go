@@ -61,7 +61,7 @@ func (spec Spec) defaults() Spec {
 	if spec.Hosts <= 0 {
 		spec.Hosts = 8
 	}
-	if spec.COV == 0 {
+	if spec.COV == 0 { //vmalloc:nondet-ok COV==0 is an exact config sentinel selecting the homogeneous park
 		spec.COV = 0.5
 	}
 	if len(spec.Ops) == 0 {

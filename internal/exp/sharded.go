@@ -107,6 +107,7 @@ func (spec ShardedSpec) Run() ([]ShardedRow, error) {
 				Seed:   seed,
 				Gap:    spec.RebalanceGap,
 				Moves:  spec.RebalanceMoves,
+				Now:    time.Now,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("exp: sharded run K=%d seed=%d: %v", k, seed, err)

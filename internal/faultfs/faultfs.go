@@ -302,7 +302,7 @@ func (f *injFile) Sync() error {
 	if fail, _ := f.i.decide(OpSync, 0); fail {
 		return injErr(OpSync, f.name)
 	}
-	return f.f.Sync()
+	return f.f.Sync() //vmalloc:nondet-ok injection seam must forward the journal-issued fsync to the real file
 }
 
 func (f *injFile) Read(b []byte) (int, error) {

@@ -956,6 +956,16 @@ func (j *Journal) prune() error {
 	return nil
 }
 
+// SyncDir fsyncs a directory on the real filesystem so file creation,
+// rename and truncation inside it are durable. It is the sanctioned
+// directory-fsync entry point for packages outside the journal: the
+// syncorder analyzer confines raw fsync calls to internal/journal, so
+// callers that need a durable directory (e.g. manifest writers) route
+// through this helper instead of opening the directory themselves.
+func SyncDir(dir string) error {
+	return syncDir(faultfs.OS{}, dir)
+}
+
 // syncDir fsyncs a directory so entry creation/rename/truncation is durable.
 func syncDir(fsys faultfs.FS, dir string) error {
 	d, err := fsys.Open(dir)

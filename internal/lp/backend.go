@@ -96,7 +96,7 @@ func Backends() []string {
 	backendMu.RLock()
 	defer backendMu.RUnlock()
 	names := make([]string, 0, len(backends))
-	for name := range backends {
+	for name := range backends { //vmalloc:nondet-ok keys are collected into a slice and sorted before any use
 		names = append(names, name)
 	}
 	sort.Strings(names)

@@ -114,12 +114,12 @@ func (lu *basisLU) factorize(bcols []*sparseCol) bool {
 		for t2 := 0; t2 < t; t2++ {
 			r2 := lu.pivotRow[t2]
 			xr := x[r2]
-			if xr == 0 {
+			if xr == 0 { //vmalloc:nondet-ok structural zero test on stored LU coefficients; zeros are created exactly, never computed
 				continue
 			}
 			rows, vals := lu.lRows[t2], lu.lVals[t2]
 			for k, i := range rows {
-				if x[i] == 0 {
+				if x[i] == 0 { //vmalloc:nondet-ok structural zero test on stored LU coefficients; zeros are created exactly, never computed
 					touched = append(touched, i)
 				}
 				x[i] -= vals[k] * xr
@@ -148,7 +148,7 @@ func (lu *basisLU) factorize(bcols []*sparseCol) bool {
 		for _, i := range touched {
 			v := x[i]
 			x[i] = 0
-			if v == 0 || i == piv {
+			if v == 0 || i == piv { //vmalloc:nondet-ok structural zero test on stored LU coefficients; zeros are created exactly, never computed
 				continue
 			}
 			if pivoted[i] {
@@ -174,7 +174,7 @@ func (lu *basisLU) factorize(bcols []*sparseCol) bool {
 func (lu *basisLU) appendEta(slot int, w []float64) {
 	pivotAt := -1
 	for i, v := range w {
-		if v != 0 {
+		if v != 0 { //vmalloc:nondet-ok structural zero test on stored LU coefficients; zeros are created exactly, never computed
 			if i == slot {
 				pivotAt = len(lu.etaIdx)
 			}
@@ -218,7 +218,7 @@ func (lu *basisLU) solveLU(dst, x []float64) {
 	// L-solve in row space: after step t, x[pivotRow[t]] is settled.
 	for t := 0; t < m; t++ {
 		xr := x[lu.pivotRow[t]]
-		if xr == 0 {
+		if xr == 0 { //vmalloc:nondet-ok structural zero test on stored LU coefficients; zeros are created exactly, never computed
 			continue
 		}
 		rows, vals := lu.lRows[t], lu.lVals[t]
@@ -231,7 +231,7 @@ func (lu *basisLU) solveLU(dst, x []float64) {
 		r := lu.pivotRow[t]
 		v := x[r]
 		x[r] = 0
-		if v == 0 {
+		if v == 0 { //vmalloc:nondet-ok structural zero test on stored LU coefficients; zeros are created exactly, never computed
 			dst[lu.ord[t]] = 0
 			continue
 		}
@@ -247,7 +247,7 @@ func (lu *basisLU) solveLU(dst, x []float64) {
 // applyEtas applies the eta file in pivot order to the slot-space vector w.
 func (lu *basisLU) applyEtas(w []float64) {
 	for k, slot := range lu.etaSlot {
-		if w[slot] == 0 {
+		if w[slot] == 0 { //vmalloc:nondet-ok structural zero test on stored LU coefficients; zeros are created exactly, never computed
 			continue
 		}
 		wr := w[slot] / lu.etaVal[lu.etaPivot[k]]
@@ -277,7 +277,7 @@ func (lu *basisLU) btran(dst, c []float64) {
 			if p == pivotAt {
 				continue
 			}
-			if v := x[lu.etaIdx[p]]; v != 0 {
+			if v := x[lu.etaIdx[p]]; v != 0 { //vmalloc:nondet-ok structural zero test on stored LU coefficients; zeros are created exactly, never computed
 				s += lu.etaVal[p] * v
 			}
 		}
@@ -289,7 +289,7 @@ func (lu *basisLU) btran(dst, c []float64) {
 		s := x[lu.ord[t]]
 		rows, vals := lu.uRows[t], lu.uVals[t]
 		for k, i := range rows {
-			if v := z[lu.rowStep[i]]; v != 0 {
+			if v := z[lu.rowStep[i]]; v != 0 { //vmalloc:nondet-ok structural zero test on stored LU coefficients; zeros are created exactly, never computed
 				s -= vals[k] * v
 			}
 		}
@@ -300,7 +300,7 @@ func (lu *basisLU) btran(dst, c []float64) {
 		s := z[t]
 		rows, vals := lu.lRows[t], lu.lVals[t]
 		for k, i := range rows {
-			if v := dst[i]; v != 0 {
+			if v := dst[i]; v != 0 { //vmalloc:nondet-ok structural zero test on stored LU coefficients; zeros are created exactly, never computed
 				s -= vals[k] * v
 			}
 		}

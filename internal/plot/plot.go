@@ -44,10 +44,10 @@ func Render(series []Series, width, height int, xlabel, ylabel string) string {
 	if points == 0 {
 		return "(no data)\n"
 	}
-	if maxX == minX {
+	if maxX == minX { //vmalloc:nondet-ok degenerate-range guard; equal extrema only matter when bit-identical
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY == minY { //vmalloc:nondet-ok degenerate-range guard; equal extrema only matter when bit-identical
 		maxY = minY + 1
 	}
 

@@ -937,7 +937,7 @@ func (ps *reducer) substitute(i, piv int) bool {
 	}
 	// And the objective (the constant c_piv*b/a drops; Postsolve recomputes
 	// the true objective from the original coefficients).
-	if ps.c[piv] != 0 {
+	if ps.c[piv] != 0 { //vmalloc:nondet-ok structural zero test on stored objective coefficient
 		f := ps.c[piv] / a
 		for _, e := range others {
 			ps.c[e.j] -= f * e.v

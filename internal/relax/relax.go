@@ -131,7 +131,7 @@ func Encode(p *core.Problem) *Encoding {
 	hasAgg := make([]bool, D)
 	for d := 0; d < D; d++ {
 		for j := 0; j < J; j++ {
-			if p.Services[j].ReqAgg[d] != 0 || p.Services[j].NeedAgg[d] != 0 {
+			if p.Services[j].ReqAgg[d] != 0 || p.Services[j].NeedAgg[d] != 0 { //vmalloc:nondet-ok structural zero tests decide constraint membership; coefficients are stored, not computed
 				hasAgg[d] = true
 				break
 			}

@@ -1,0 +1,11 @@
+package replica
+
+import (
+	"testing"
+
+	"vmalloc/internal/testutil/leakcheck"
+)
+
+// TestMain fails the package if any test leaks a goroutine — followers run
+// background appliers and stream readers that must stop on Close.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,12 @@
+package server
+
+import (
+	"testing"
+
+	"vmalloc/internal/testutil/leakcheck"
+)
+
+// TestMain fails the package if any test leaks a goroutine — the HTTP
+// server, batcher and WAL streamer all own background goroutines that must
+// die with Close.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

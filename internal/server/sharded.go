@@ -61,16 +61,7 @@ func writeShardManifest(dir string, m *ShardManifest) error {
 	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
 		return err
 	}
-	return syncShardDir(dir)
-}
-
-func syncShardDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return journal.SyncDir(dir)
 }
 
 // SaveShardManifest durably writes the shard manifest of dir, creating the

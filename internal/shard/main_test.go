@@ -1,0 +1,11 @@
+package shard
+
+import (
+	"testing"
+
+	"vmalloc/internal/testutil/leakcheck"
+)
+
+// TestMain fails the package if any test leaks a goroutine — parallel epoch
+// solves fan out worker goroutines that must join before Reallocate returns.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

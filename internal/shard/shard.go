@@ -38,6 +38,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"vmalloc/internal/core"
 	"vmalloc/internal/engine"
@@ -78,10 +79,14 @@ type Config struct {
 	Parallel   bool
 	Workers    int
 	UseLPBound bool
+	// Now is the injected wall clock forwarded to every domain engine for
+	// EpochReport.SolveNs stamping; nil leaves solve times zero. The router
+	// is determinism-critical and never reads the clock itself.
+	Now func() time.Time
 }
 
 func (cfg *Config) gap() float64 {
-	if cfg.Gap == 0 {
+	if cfg.Gap == 0 { //vmalloc:nondet-ok Gap==0 is an exact config sentinel selecting the default
 		return DefaultGap
 	}
 	return cfg.Gap
@@ -221,6 +226,7 @@ func New(cfg Config) (*Router, error) {
 			Parallel:   cfg.Parallel,
 			Workers:    cfg.Workers,
 			UseLPBound: cfg.UseLPBound,
+			Now:        cfg.Now,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", s, err)
@@ -288,7 +294,7 @@ func (r *Router) admissionOrder(id int) []int {
 	a := int(h % uint64(k))
 	b := int((h >> 32) % uint64(k))
 	if a != b && (r.headroomBuf[b] > r.headroomBuf[a] ||
-		(r.headroomBuf[b] == r.headroomBuf[a] && b < a)) {
+		(r.headroomBuf[b] == r.headroomBuf[a] && b < a)) { //vmalloc:nondet-ok headroom tie-break: exact equality is required for a deterministic total order
 		a, b = b, a
 	}
 	r.orderBuf = append(r.orderBuf, a)
@@ -304,7 +310,7 @@ func (r *Router) admissionOrder(id int) []int {
 	rest := r.orderBuf[head:]
 	sort.SliceStable(rest, func(i, j int) bool {
 		hi, hj := r.headroomBuf[rest[i]], r.headroomBuf[rest[j]]
-		if hi != hj {
+		if hi != hj { //vmalloc:nondet-ok comparator tie-break: exact equality is required for a deterministic total order
 			return hi > hj
 		}
 		return rest[i] < rest[j]
@@ -631,7 +637,7 @@ func (r *Router) rebalance(reps []*engine.EpochReport) (moved, carried int) {
 		cands = append(cands, cand{id: id, need: est.NeedAgg[cpu]})
 	}
 	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].need != cands[j].need {
+		if cands[i].need != cands[j].need { //vmalloc:nondet-ok comparator tie-break: exact equality is required for a deterministic total order
 			return cands[i].need > cands[j].need
 		}
 		return cands[i].id < cands[j].id
@@ -653,7 +659,7 @@ func (r *Router) rebalance(reps []*engine.EpochReport) (moved, carried int) {
 		// admission changes the landscape.
 		sort.SliceStable(targets, func(i, j int) bool {
 			hi, hj := r.domains[targets[i]].eng.Headroom(), r.domains[targets[j]].eng.Headroom()
-			if hi != hj {
+			if hi != hj { //vmalloc:nondet-ok comparator tie-break: exact equality is required for a deterministic total order
 				return hi > hj
 			}
 			return targets[i] < targets[j]
@@ -717,7 +723,7 @@ func (r *Router) rebalance(reps []*engine.EpochReport) (moved, carried int) {
 
 func sortedKeys(m map[int]bool) []int {
 	out := make([]int, 0, len(m))
-	for k := range m {
+	for k := range m { //vmalloc:nondet-ok inside sortedKeys itself: keys are collected then sorted before iteration
 		out = append(out, k)
 	}
 	sort.Ints(out)

@@ -79,6 +79,7 @@ func Restore(cfg Config, states []*engine.State) (*Recovery, error) {
 			Parallel:   cfg.Parallel,
 			Workers:    cfg.Workers,
 			UseLPBound: cfg.UseLPBound,
+			Now:        cfg.Now,
 		}
 		var eng *engine.Engine
 		var err error
@@ -269,7 +270,7 @@ func (rc *Recovery) Finish() (*Router, []string, error) {
 	}
 	var warnings []string
 	ids := make([]int, 0, len(live))
-	for id := range live {
+	for id := range live { //vmalloc:nondet-ok ids are collected into a slice and sorted before any use
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
@@ -317,7 +318,7 @@ func (rc *Recovery) Finish() (*Router, []string, error) {
 	}
 	r.nextID = nextID
 
-	for id := range r.byID {
+	for id := range r.byID { //vmalloc:nondet-ok per-id generation writes are independent; result is order-free
 		if g := rc.maxGen[id]; g > 0 {
 			r.moveGen[id] = g
 		}
@@ -329,7 +330,7 @@ func (rc *Recovery) Finish() (*Router, []string, error) {
 	th := r.domains[0].eng.Threshold()
 	mismatch := false
 	for _, d := range r.domains[1:] {
-		if d.eng.Threshold() != th {
+		if d.eng.Threshold() != th { //vmalloc:nondet-ok replay compares a round-tripped threshold that is bit-identical by the WAL contract
 			mismatch = true
 			if d.eng.Threshold() > th {
 				th = d.eng.Threshold()

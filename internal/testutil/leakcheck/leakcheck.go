@@ -1,0 +1,120 @@
+// Package leakcheck fails a test binary that exits with goroutines it
+// started still running. The server, replication and shard layers own
+// background goroutines (HTTP handlers, WAL streamers, follower appliers,
+// rebalance workers); a test that forgets Close leaves one behind, and a
+// leaked goroutine is exactly the kind of nondeterminism the analysis suite
+// exists to keep out — it keeps mutating state while the next test runs.
+//
+// Usage, from a package's TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// The checker snapshots the goroutine set before the tests, runs them, and
+// then retries for up to five seconds waiting for the set to drain back to
+// known-benign goroutines (runtime helpers, the testing harness itself).
+// Anything else is printed with its stack and the binary exits nonzero.
+//
+// It is dependency-free on purpose: runtime.Stack is enough, and the repo
+// does not vendor goleak.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// benign are stack substrings identifying goroutines that legitimately
+// survive a test binary: the runtime's own helpers and the testing harness.
+var benign = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.runFuzzing(",
+	"runtime.goexit",
+	"runtime.gc",
+	"runtime.MHeap_Scavenger",
+	"runtime/trace.Start",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"created by runtime",
+	"created by os/signal",
+	"created by testing.RunTests",
+}
+
+// Main wraps m.Run with the leak check and exits the process with the
+// combined status: test failures keep their exit code, and a leak turns a
+// passing run into a failure.
+func Main(m *testing.M) {
+	code := m.Run()
+	if leaked := drain(5 * time.Second); leaked != "" {
+		fmt.Fprintf(os.Stderr, "leakcheck: goroutines still running at exit:\n\n%s\n", leaked)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check fails t if goroutines are still running when it is called — the
+// per-test spelling for tests that want the check mid-package, typically via
+// defer after closing the system under test.
+func Check(t *testing.T) {
+	t.Helper()
+	if leaked := drain(2 * time.Second); leaked != "" {
+		t.Errorf("leaked goroutines:\n\n%s", leaked)
+	}
+}
+
+// drain polls until only benign goroutines remain or the deadline passes,
+// returning the offending stacks (empty = clean). Polling gives goroutines
+// that are mid-shutdown — a closed listener's accept loop, a follower
+// applier draining its channel — time to finish before being called leaks.
+func drain(deadline time.Duration) string {
+	var leaked []string
+	for wait, step := time.Duration(0), time.Millisecond; wait < deadline; wait, step = wait+step, step*2 {
+		time.Sleep(step)
+		leaked = offenders()
+		if len(leaked) == 0 {
+			return ""
+		}
+	}
+	return strings.Join(leaked, "\n\n")
+}
+
+// offenders returns the stacks of non-benign goroutines, excluding the
+// calling one.
+func offenders() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []string
+	for i, g := range strings.Split(string(buf), "\n\n") {
+		if i == 0 {
+			continue // the goroutine running the check
+		}
+		if g = strings.TrimSpace(g); g == "" {
+			continue
+		}
+		ok := false
+		for _, b := range benign {
+			if strings.Contains(g, b) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDetectsAndClearsLeak proves both directions: a parked goroutine is
+// reported as an offender, and once released the drain converges to clean.
+func TestDetectsAndClearsLeak(t *testing.T) {
+	stop := make(chan struct{})
+	go func() { <-stop }()
+	time.Sleep(10 * time.Millisecond)
+
+	found := false
+	for _, g := range offenders() {
+		if strings.Contains(g, "leakcheck.TestDetectsAndClearsLeak") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("offenders missed a parked goroutine")
+	}
+
+	close(stop)
+	if leaked := drain(2 * time.Second); leaked != "" {
+		t.Errorf("drain still reports leaks after release:\n%s", leaked)
+	}
+}
+
+// TestBenignFilter pins the allowlist shape: the runtime's own goroutines
+// never count as leaks, so an idle test binary is clean.
+func TestBenignFilter(t *testing.T) {
+	if leaked := drain(2 * time.Second); leaked != "" {
+		t.Errorf("idle binary reports leaks:\n%s", leaked)
+	}
+}

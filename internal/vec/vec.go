@@ -168,7 +168,7 @@ func (v Vec) Sum() float64 {
 // IsZero reports whether every component is exactly zero.
 func (v Vec) IsZero() bool {
 	for _, x := range v {
-		if x != 0 {
+		if x != 0 { //vmalloc:nondet-ok IsZero is an exact structural-zero predicate by contract
 			return false
 		}
 	}
@@ -241,8 +241,8 @@ func (m Metric) Scalar(v Vec) float64 {
 		return v.Sum()
 	case MetricMaxRatio:
 		mn := v.Min()
-		if mn == 0 {
-			if v.Max() == 0 {
+		if mn == 0 { //vmalloc:nondet-ok exact-zero capacity sentinel distinguishing 0/0 from division by zero
+			if v.Max() == 0 { //vmalloc:nondet-ok exact-zero capacity sentinel distinguishing 0/0 from division by zero
 				return 1 // 0/0: treat the zero vector as perfectly balanced
 			}
 			return math.Inf(1)

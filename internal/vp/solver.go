@@ -173,7 +173,7 @@ func (s *Solver) Rebind(p *core.Problem) {
 	for h := range s.caps {
 		agg := p.Nodes[h].Aggregate
 		for dd := 0; dd < d; dd++ {
-			if s.caps[h][dd] != agg[dd] {
+			if s.caps[h][dd] != agg[dd] { //vmalloc:nondet-ok cache validity requires bit-identity with the cached capacities
 				panic("vp: Rebind requires unchanged node capacities")
 			}
 		}
@@ -193,7 +193,7 @@ func (s *Solver) Rebind(p *core.Problem) {
 		}
 	}
 	s.haveEndpoints = false
-	for o, e := range s.itemOrders {
+	for o, e := range s.itemOrders { //vmalloc:nondet-ok per-entry permutations are rebuilt independently; result is order-free
 		s.initItemOrderEntry(o, e)
 	}
 	if s.itemRank != nil {
@@ -232,10 +232,10 @@ func (s *Solver) PackCtx(ctx context.Context, y float64, c Config) (core.Placeme
 // invalidation when the yield changed, or a load/placement clear when it
 // did not.
 func (s *Solver) prepare(y float64) {
-	if !s.haveYield || s.yield != y {
+	if !s.haveYield || s.yield != y { //vmalloc:nondet-ok cache key match requires bit-identity with the cached yield
 		s.inst.Reset(y)
 		s.yield, s.haveYield = y, true
-		for _, e := range s.itemOrders {
+		for _, e := range s.itemOrders { //vmalloc:nondet-ok only clears per-entry valid flags; result is order-free
 			if !e.invariant {
 				e.valid = false
 			}
@@ -435,7 +435,7 @@ const ulp = 0x1p-52
 func (s *Solver) servicesIdentical(a, b int) bool {
 	sa, sb := &s.p.Services[a], &s.p.Services[b]
 	for d := range sa.ReqAgg {
-		if sa.ReqAgg[d] != sb.ReqAgg[d] || sa.NeedAgg[d] != sb.NeedAgg[d] {
+		if sa.ReqAgg[d] != sb.ReqAgg[d] || sa.NeedAgg[d] != sb.NeedAgg[d] { //vmalloc:nondet-ok comparator tie-break: exact equality is required for a deterministic total order
 			return false
 		}
 	}
@@ -476,7 +476,7 @@ func (s *Solver) orderYieldInvariant(o Order, perm []int) bool {
 			// margin, at both endpoints.
 			dd := 0
 			sa, sb := &s.p.Services[a], &s.p.Services[b]
-			for dd < d && sa.ReqAgg[dd] == sb.ReqAgg[dd] && sa.NeedAgg[dd] == sb.NeedAgg[dd] {
+			for dd < d && sa.ReqAgg[dd] == sb.ReqAgg[dd] && sa.NeedAgg[dd] == sb.NeedAgg[dd] { //vmalloc:nondet-ok comparator tie-break: exact equality is required for a deterministic total order
 				dd++
 			}
 			if dd == d {

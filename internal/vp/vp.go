@@ -351,7 +351,7 @@ func SearchMaxYieldOpt(p *core.Problem, opts SearchOptions, try TryFunc) *core.R
 	if pl, ok := try(hi); ok {
 		return core.EvaluatePlacement(p, pl)
 	}
-	if hi == 0 {
+	if hi == 0 { //vmalloc:nondet-ok exact-zero bracket top short-circuits to the empty result
 		return &core.Result{}
 	}
 	pl, ok := try(0)

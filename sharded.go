@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"vmalloc/internal/engine"
 	"vmalloc/internal/shard"
@@ -52,6 +53,7 @@ func (o *ShardedOptions) routerConfig(nodes []Node) shard.Config {
 		Parallel:   o.Parallel,
 		Workers:    o.Workers,
 		UseLPBound: o.UseLPBound,
+		Now:        time.Now,
 	}
 }
 

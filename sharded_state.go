@@ -77,7 +77,7 @@ func vecEqual(a, b Vec) bool {
 		return false
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i] != b[i] { //vmalloc:nondet-ok bit-identity comparison of round-tripped state vectors is the durability contract
 			return false
 		}
 	}
